@@ -1,0 +1,129 @@
+// Fig. 12a: ring allreduce on Ray vs an OpenMPI-like baseline, and Ray*
+// (Ray restricted to one transfer stream, as the paper restricts Ray to one
+// send/receive thread). Ray's multi-stream transfers saturate the simulated
+// 25Gbps link, while single-stream transfers cap below it — the paper's
+// explanation for Ray beating OpenMPI by 1.5-2x at 100MB/1GB. At small
+// sizes, per-task scheduling overhead makes MPI faster (the crossover).
+//
+// Fig. 12b: the same allreduce with artificial scheduler latency injected on
+// every task submission; a few ms of added latency roughly doubles
+// completion time, which is why a centralized scheduler (tens of ms) cannot
+// support this workload.
+#include <cstdio>
+
+#include "baselines/mpi.h"
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "raylib/allreduce.h"
+
+namespace ray {
+namespace {
+
+struct RaySetup {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<raylib::RingAllreduce> ring;
+  std::unique_ptr<Ray> driver;
+};
+
+// The simulated wire runs with 100x time dilation (25Gbps -> 31.25MB/s
+// aggregate, 13MB/s per stream) so that wire time, not host memcpy, is the
+// dominant term for every compared system — the relative shapes are what
+// the figure reports.
+NetConfig DilatedNet() {
+  NetConfig net;
+  net.latency_us = 100;
+  net.control_latency_us = 30;
+  net.link_bandwidth_bytes_s = 31.25e6;
+  net.per_stream_bandwidth_bytes_s = 13e6;
+  return net;
+}
+
+RaySetup MakeRaySetup(int n, int transfer_threads) {
+  ClusterConfig config;
+  config.num_nodes = 1;  // driver-only node
+  config.scheduler.total_resources = ResourceSet::Cpu(2);
+  config.store.num_transfer_threads = transfer_threads;
+  config.net = DilatedNet();
+  RaySetup setup;
+  setup.cluster = std::make_unique<Cluster>(config);
+  raylib::RegisterAllreduceSupport(*setup.cluster);
+  std::vector<ResourceSet> placements;
+  for (int i = 0; i < n; ++i) {
+    std::string tag = "ring" + std::to_string(i);
+    setup.cluster->AddNodeWithResources(ResourceSet{{"CPU", 2}, {tag, 1}});
+    placements.push_back(ResourceSet{{"CPU", 1}, {tag, 1}});
+  }
+  setup.driver = std::make_unique<Ray>(Ray::OnNode(*setup.cluster, 0));
+  setup.ring = std::make_unique<raylib::RingAllreduce>(*setup.driver, placements);
+  return setup;
+}
+
+// Loads per-worker buffers in place, then times one allreduce.
+double TimeRayAllreduce(RaySetup& setup, size_t elements, int iterations) {
+  auto& workers = setup.ring->workers();
+  std::vector<ObjectRef<int>> fills;
+  for (size_t i = 0; i < workers.size(); ++i) {
+    fills.push_back(workers[i].Call<int>("FillBuffer", static_cast<int>(elements), 1.0f));
+  }
+  for (auto& f : fills) {
+    RAY_CHECK(setup.driver->Get(f, 300'000'000).ok());
+  }
+  double total = 0;
+  for (int it = 0; it < iterations; ++it) {
+    Timer timer;
+    auto last = raylib::SubmitRingAllreduce(workers);
+    for (auto& ref : last) {
+      RAY_CHECK(setup.driver->Get(ref, 300'000'000).ok());
+    }
+    total += timer.ElapsedSeconds();
+  }
+  return total / iterations;
+}
+
+}  // namespace
+}  // namespace ray
+
+int main() {
+  using namespace ray;
+  bench::Banner("Figure 12a",
+                "ring allreduce: Ray (multi-stream) vs Ray* (1 stream) vs MPI-like baseline",
+                "16 nodes/10MB-1GB -> 8 nodes/1-32MB; 100x time-dilated wire for all systems");
+  const int n = 8;
+  size_t max_mb = bench::QuickMode() ? 8 : 32;
+
+  std::printf("%-10s %-14s %-14s %-14s\n", "obj size", "Ray (ms)", "Ray* (ms)", "MPI (ms)");
+  for (size_t mb = 1; mb <= max_mb; mb *= 8) {
+    size_t elements = mb << 20 >> 2;  // floats
+    int iters = mb >= 32 ? 1 : 2;
+    double ray_ms, ray_star_ms;
+    {
+      auto ray_setup = MakeRaySetup(n, 8);
+      ray_ms = TimeRayAllreduce(ray_setup, elements, iters) * 1000;
+    }
+    {
+      auto ray_star_setup = MakeRaySetup(n, 1);
+      ray_star_ms = TimeRayAllreduce(ray_star_setup, elements, iters) * 1000;
+    }
+    SimNetwork net(DilatedNet());
+    std::vector<NodeId> ranks;
+    for (int i = 0; i < n; ++i) {
+      ranks.push_back(NodeId::FromRandom());
+    }
+    auto mpi = baselines::MpiRingAllreduce(net, ranks, elements, iters);
+    std::printf("%-10s %-14.1f %-14.1f %-14.1f\n", bench::HumanBytes(mb << 20).c_str(), ray_ms,
+                ray_star_ms, mpi.seconds_per_iteration * 1000);
+  }
+
+  std::printf("\n");
+  bench::Banner("Figure 12b", "allreduce sensitivity to scheduler latency",
+                "16 nodes/100MB -> 8 nodes/8MB; injected latency {0,1,5,10}ms");
+  size_t elements = (8ull << 20) >> 2;
+  std::printf("%-22s %-18s\n", "added latency (ms)", "iteration (ms)");
+  for (int added_ms : {0, 1, 5, 10}) {
+    auto setup = MakeRaySetup(n, 8);
+    setup.cluster->net().SetExtraSchedulerLatencyMicros(added_ms * 1000);
+    double ms = TimeRayAllreduce(setup, elements, 1) * 1000;
+    std::printf("+%-21d %-18.1f\n", added_ms, ms);
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Fig. 14a: Evolution Strategies time-to-solve vs cores. Two systems run the
+// same total simulation work:
+//   - Ray ES: seeds-only results folded by a tree of aggregation actors
+//     (the paper's 7-line hierarchical-aggregation change);
+//   - reference-style ES: every result ships its full gradient contribution
+//     to the driver, which folds all of them serially — the special-purpose
+//     system's driver bottleneck that stopped scaling at 2048 cores.
+// The shape to reproduce: Ray keeps speeding up with cores (paper: 1.6x per
+// doubling, 3.7 min median at 8192 cores); the reference plateaus.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include <cmath>
+
+#include "common/random.h"
+#include "raylib/es.h"
+
+namespace ray {
+namespace {
+
+// The reference implementation ships each result as a full-parameter-sized
+// payload (the paper's Humanoid-v1 policy is ~350KB); our benchmark policy
+// is small, so results are padded to 128KB, and the wire is 100x dilated so
+// result bytes (not host copies) set the pace for both systems.
+constexpr int kReferenceResultFloats = 32 * 1024;
+
+std::unique_ptr<Cluster> MakeCluster(int cores) {
+  ClusterConfig config;
+  config.num_nodes = 1;  // driver node
+  config.scheduler.total_resources = ResourceSet::Cpu(2);
+  // Spill quickly: the driver submits the whole wave at once and the paper's
+  // bottom-up scheduler distributes it cluster-wide.
+  config.scheduler.spillover_queue_threshold = 1;
+  config.net.control_latency_us = 15;
+  config.net.latency_us = 100;
+  config.net.link_bandwidth_bytes_s = 31.25e6;
+  config.net.per_stream_bandwidth_bytes_s = 13e6;
+  auto cluster = std::make_unique<Cluster>(config);
+  int nodes = std::max(1, cores / 2);
+  for (int i = 0; i < nodes; ++i) {
+    cluster->AddNodeWithResources(ResourceSet::Cpu(cores / nodes));
+  }
+  raylib::RegisterEsSupport(*cluster);
+  return cluster;
+}
+
+raylib::EsConfig BenchEsConfig(int evals, int iterations) {
+  raylib::EsConfig config;
+  config.env = "humanoid_sim";
+  config.policy_state_dim = 16;
+  config.policy_action_dim = 4;
+  config.iterations = iterations;
+  config.evaluations_per_iteration = evals;
+  config.rollout_max_steps = 60;
+  return config;
+}
+
+double RunRayEs(int cores, int evals, int iterations) {
+  auto cluster = MakeCluster(cores);
+  Ray ray = Ray::OnNode(*cluster, 0);
+  SleepMicros(30'000);
+  raylib::EsConfig config = BenchEsConfig(evals, iterations);
+  config.tree_aggregation = true;
+  config.num_aggregators = std::max(2, cores / 4);
+  raylib::EvolutionStrategies es(ray, config);
+  auto report = es.Train();
+  RAY_CHECK(report.ok()) << report.status().ToString();
+  return report->wall_seconds;
+}
+
+// Reference-style: full-gradient results, serial driver fold.
+double RunReferenceEs(int cores, int evals, int iterations) {
+  auto cluster = MakeCluster(cores);
+  Ray ray = Ray::OnNode(*cluster, 0);
+  SleepMicros(30'000);
+  raylib::EsConfig config = BenchEsConfig(evals, iterations);
+  size_t dim = static_cast<size_t>(config.policy_action_dim) * config.policy_state_dim +
+               config.policy_action_dim;
+  Rng rng(11);
+  std::vector<float> policy = rng.NormalVector(dim, 0.0, 0.05);
+
+  Timer timer;
+  uint64_t seed = 1;
+  for (int it = 0; it < iterations; ++it) {
+    auto policy_ref = ray.Put(policy);
+    std::vector<ObjectRef<std::vector<float>>> results;
+    for (int e = 0; e < evals; ++e) {
+      results.push_back(ray.Call<std::vector<float>>("es_evaluate_full", policy_ref, seed,
+                                                     config.sigma, config.env,
+                                                     config.rollout_max_steps,
+                                                     kReferenceResultFloats));
+      seed += 2;
+    }
+    // The driver ingests and folds every full gradient itself.
+    std::vector<float> grad(dim, 0.0f);
+    for (auto& ref : results) {
+      auto g = ray.Get(ref, 300'000'000);
+      RAY_CHECK(g.ok()) << g.status().ToString();
+      for (size_t i = 0; i < dim; ++i) {
+        grad[i] += (*g)[i];  // the padding tail is zeros
+      }
+    }
+    double norm = 1e-8;
+    for (float g : grad) {
+      norm += static_cast<double>(g) * g;
+    }
+    norm = std::sqrt(norm);
+    for (size_t i = 0; i < dim; ++i) {
+      policy[i] += config.lr * grad[i] / static_cast<float>(norm);
+    }
+  }
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace
+}  // namespace ray
+
+int main() {
+  using namespace ray;
+  bench::Banner("Figure 14a", "ES time-to-solve vs cores: Ray (aggregation tree) vs reference",
+                "256-8192 cores / 10000 evals -> 2-16 cores / 150 evals; fixed training work");
+  int evals = bench::QuickMode() ? 60 : 150;
+  int iterations = bench::QuickMode() ? 1 : 2;
+
+  std::printf("%-8s %-18s %-18s %-22s\n", "cores", "Ray ES (s)", "reference ES (s)",
+              "Ray speedup vs 2-core");
+  double ray_base = 0;
+  for (int cores : {2, 4, 8, 16}) {
+    double ray_s = RunRayEs(cores, evals, iterations);
+    double ref_s = RunReferenceEs(cores, evals, iterations);
+    if (cores == 2) {
+      ray_base = ray_s;
+    }
+    std::printf("%-8d %-18.2f %-18.2f %-22.2f\n", cores, ray_s, ref_s, ray_base / ray_s);
+  }
+  std::printf("\npaper: Ray speeds up ~1.6x per core doubling to 8192 cores; the reference\n"
+              "system's driver saturates and it fails to complete beyond 1024 cores — here the\n"
+              "reference's serial full-gradient fold keeps it from matching Ray's scaling.\n");
+  return 0;
+}

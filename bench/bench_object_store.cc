@@ -1,0 +1,93 @@
+// Fig. 9: object store write throughput and IOPS. Large-object writes are
+// memcpy-bound (thread sweep 1-16 over the parallel copy path); small-object
+// writes are dominated by per-object overheads (metadata + location
+// publication), reported as IOPS. NOTE: on a single-core machine the thread
+// sweep cannot show real speedup — the series is still printed so the shape
+// can be compared on larger hardware.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "gcs/tables.h"
+#include "net/sim_network.h"
+#include "objectstore/object_store.h"
+
+namespace ray {
+namespace {
+
+struct StoreFixture {
+  explicit StoreFixture(int threads)
+      : gcs(gcs::GcsConfig{}), tables(&gcs), net(NetConfig{}), store(NodeId::FromRandom(), &tables,
+                                                                    &net, MakeConfig(threads)) {}
+
+  static ObjectStoreConfig MakeConfig(int threads) {
+    ObjectStoreConfig config;
+    config.capacity_bytes = 8ull << 30;
+    config.num_transfer_threads = threads;
+    return config;
+  }
+
+  gcs::Gcs gcs;
+  gcs::GcsTables tables;
+  SimNetwork net;
+  ObjectStore store;
+};
+
+// One write = allocate destination + parallel memcpy from the client source
+// + seal (publish location). This is the client->shared-memory copy path.
+double WriteThroughputGbps(StoreFixture& fx, size_t object_bytes, int threads, int iterations) {
+  std::vector<uint8_t> source(object_bytes, 0xab);
+  ThreadPool pool(static_cast<size_t>(threads));
+  Timer timer;
+  for (int i = 0; i < iterations; ++i) {
+    auto buffer = std::make_shared<Buffer>(object_bytes);
+    ParallelCopy(buffer->MutableData(), source.data(), object_bytes, threads, pool);
+    fx.store.Put(ObjectId::FromRandom(), std::move(buffer));
+  }
+  double seconds = timer.ElapsedSeconds();
+  return static_cast<double>(object_bytes) * iterations / seconds / 1e9;
+}
+
+double WriteIops(StoreFixture& fx, size_t object_bytes, int iterations) {
+  std::vector<uint8_t> source(object_bytes, 0xcd);
+  Timer timer;
+  for (int i = 0; i < iterations; ++i) {
+    fx.store.Put(ObjectId::FromRandom(), std::make_shared<Buffer>(source.data(), object_bytes));
+  }
+  return iterations / timer.ElapsedSeconds();
+}
+
+}  // namespace
+}  // namespace ray
+
+int main() {
+  using namespace ray;
+  bench::Banner("Figure 9", "object store write throughput (GB/s) and IOPS",
+                "sizes 1KB-1GB -> 1KB-256MB; threads {1,2,4,8,16}; single-core host caveat in text");
+
+  std::printf("-- write throughput (GB/s) by object size and copy threads --\n");
+  std::printf("%-10s", "obj size");
+  for (int threads : {1, 2, 4, 8, 16}) {
+    std::printf(" t=%-8d", threads);
+  }
+  std::printf("\n");
+  size_t max_size = bench::QuickMode() ? (16ull << 20) : (256ull << 20);
+  for (size_t bytes = 1ull << 20; bytes <= max_size; bytes *= 4) {
+    std::printf("%-10s", bench::HumanBytes(bytes).c_str());
+    for (int threads : {1, 2, 4, 8, 16}) {
+      StoreFixture fx(threads);
+      int iters = static_cast<int>(std::max<size_t>(3, (64ull << 20) / bytes));
+      std::printf(" %-10.2f", WriteThroughputGbps(fx, bytes, threads, iters));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n-- small-object IOPS (single client) --\n");
+  std::printf("%-10s %-12s\n", "obj size", "IOPS");
+  for (size_t bytes : {1ull << 10, 10ull << 10, 100ull << 10}) {
+    StoreFixture fx(1);
+    std::printf("%-10s %-12.0f\n", bench::HumanBytes(bytes).c_str(),
+                WriteIops(fx, bytes, bench::QuickMode() ? 2000 : 20000));
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Fig. 14b: PPO on Ray (heterogeneity-aware: CPU-only rollout tasks + one
+// GPU optimizer actor) vs a symmetric MPI implementation (every rank runs
+// identical code and therefore needs a GPU instance). Two shapes to
+// reproduce: Ray is at least as fast with far fewer GPUs, and the cost gap
+// (paper: 4.5x from heterogeneity alone, 18x with spot instances) follows
+// from instance-hours.
+#include <cstdio>
+
+#include "baselines/mpi.h"
+#include "bench/bench_util.h"
+#include "raylib/ppo.h"
+
+namespace ray {
+namespace {
+
+constexpr double kCpuNodePricePerHour = 1.0;   // m4.16xlarge-style
+constexpr double kGpuNodePricePerHour = 4.0;   // p2.16xlarge-style
+
+struct PpoRow {
+  double ray_seconds = 0;
+  double mpi_seconds = 0;
+  int ray_gpu_nodes = 1;
+  int mpi_gpu_nodes = 0;
+  double ray_cost = 0;
+  double mpi_cost = 0;
+};
+
+PpoRow Run(int cpus, int steps_per_batch, int iterations) {
+  PpoRow row;
+  int cpu_nodes = std::max(1, cpus / 2);
+  {
+    ClusterConfig config;
+    config.num_nodes = 1;  // driver
+    config.scheduler.total_resources = ResourceSet::Cpu(2);
+    config.scheduler.spillover_queue_threshold = 1;
+    config.net.control_latency_us = 15;
+    Cluster cluster(config);
+    for (int i = 0; i < cpu_nodes; ++i) {
+      cluster.AddNodeWithResources(ResourceSet::Cpu(cpus / cpu_nodes));
+    }
+    cluster.AddNodeWithResources(ResourceSet{{"CPU", 2}, {"GPU", 1}});
+    raylib::RegisterPpoSupport(cluster);
+    Ray ray = Ray::OnNode(cluster, 0);
+
+    raylib::PpoConfig config2;
+    config2.env = "humanoid_sim";
+    config2.policy_state_dim = 16;
+    config2.policy_action_dim = 4;
+    config2.iterations = iterations;
+    config2.steps_per_batch = steps_per_batch;
+    config2.rollout_max_steps = 1000;
+    config2.max_in_flight = cpus + 4;
+    raylib::Ppo ppo(ray, config2);
+    auto report = ppo.Train();
+    RAY_CHECK(report.ok()) << report.status().ToString();
+    row.ray_seconds = report->wall_seconds;
+  }
+  {
+    SimNetwork net(NetConfig{});
+    std::vector<NodeId> ranks;
+    for (int i = 0; i < cpus; ++i) {
+      ranks.push_back(NodeId::FromRandom());
+    }
+    baselines::MpiPpoConfig config;
+    config.env = "humanoid_sim";
+    config.policy_state_dim = 16;
+    config.policy_action_dim = 4;
+    config.iterations = iterations;
+    config.steps_per_batch = steps_per_batch;
+    config.rollout_max_steps = 1000;
+    config.num_ranks = cpus;
+    auto result = baselines::MpiPpo(net, ranks, config);
+    row.mpi_seconds = result.wall_seconds;
+  }
+  // Instance accounting: Ray rents CPU nodes plus one GPU node; symmetric
+  // MPI must rent GPU instances for every 8 CPUs (the paper's ratio).
+  row.ray_gpu_nodes = 1;
+  row.mpi_gpu_nodes = std::max(1, cpus / 8);
+  row.ray_cost =
+      (cpu_nodes * kCpuNodePricePerHour + kGpuNodePricePerHour) * row.ray_seconds / 3600.0;
+  row.mpi_cost = (row.mpi_gpu_nodes + cpu_nodes) * kGpuNodePricePerHour * row.mpi_seconds / 3600.0;
+  return row;
+}
+
+}  // namespace
+}  // namespace ray
+
+int main() {
+  using namespace ray;
+  bench::Banner("Figure 14b", "PPO: Ray heterogeneity-aware vs symmetric MPI",
+                "8x1 - 512x64 CPUxGPU -> 8-32 CPUs, 1 Ray GPU; humanoid_sim rollouts");
+  int steps = bench::QuickMode() ? 2500 : 8000;
+  int iterations = bench::QuickMode() ? 1 : 2;
+
+  std::printf("%-8s %-14s %-14s %-10s %-10s %-12s\n", "CPUs", "MPI PPO (s)", "Ray PPO (s)",
+              "MPI GPUs", "Ray GPUs", "cost ratio");
+  for (int cpus : {8, 16, 32}) {
+    auto row = Run(cpus, steps, iterations);
+    std::printf("%-8d %-14.2f %-14.2f %-10d %-10d %-12.2f\n", cpus, row.mpi_seconds,
+                row.ray_seconds, row.mpi_gpu_nodes, row.ray_gpu_nodes,
+                row.mpi_cost / row.ray_cost);
+  }
+  std::printf("\npaper: Ray PPO outperforms the specialized MPI implementation at every scale\n"
+              "while using at most 8 GPUs (never more than 1 per 8 CPUs); heterogeneity-aware\n"
+              "scheduling cut costs 4.5x.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table 3: embedded serving throughput — Ray actor (shared-memory argument
+// passing) vs a Clipper-like REST server (text encode/decode + socket per
+// request). Two workloads as in the paper: a 10ms "residual network" policy
+// with small (4KB) inputs, and a 5ms fully-connected policy with large
+// (100KB) inputs. The large-input case is where REST collapses (paper: 290
+// vs 6900 states/s) because the payload is serialized and copied repeatedly.
+#include <cstdio>
+
+#include "baselines/rest_serving.h"
+#include "bench/bench_util.h"
+#include "raylib/serving.h"
+
+namespace ray {
+namespace {
+
+struct Row {
+  double ray_states_s = 0;
+  double rest_states_s = 0;
+};
+
+Row RunWorkload(int state_dim, int64_t eval_us, double seconds) {
+  // The model reads a fixed 256-feature prefix of each state row; model
+  // compute is pinned by eval_us (as in the paper: 10ms residual net / 5ms
+  // fully-connected net), while the request payload scales with state_dim.
+  std::vector<int> layers = {256, 64, 8};
+  const int batch = 64;
+  Row row;
+  {
+    ClusterConfig config;
+    config.num_nodes = 1;
+    config.scheduler.total_resources = ResourceSet::Cpu(4);
+    Cluster cluster(config);
+    raylib::RegisterServingSupport(cluster);
+    Ray ray = Ray::OnNode(cluster, 0);
+    ActorHandle server = ray.CreateActor("PolicyServer");
+    RAY_CHECK(ray.Get(server.Call<int>("Init", layers, eval_us), 10'000'000).ok());
+    auto stats = raylib::DriveServing(ray, server, state_dim, batch, seconds, 2);
+    row.ray_states_s = stats.states_per_second;
+  }
+  {
+    baselines::RestServingModel rest(layers, eval_us);
+    auto stats = rest.Drive(state_dim, batch, seconds, 2);
+    row.rest_states_s = stats.states_per_second;
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace ray
+
+int main() {
+  using namespace ray;
+  bench::Banner("Table 3", "policy serving throughput: Ray actor vs Clipper-like REST",
+                "p3.8xl co-located clients -> same-process clients; 4KB & 100KB states, batch 64");
+  double seconds = bench::QuickMode() ? 0.5 : 2.0;
+
+  // Small input (4KB state), 10ms residual-network policy.
+  Row small = RunWorkload(1024, 10'000, seconds);
+  // Larger input (100KB state), 5ms fully-connected policy.
+  Row large = RunWorkload(25600, 5'000, seconds);
+
+  std::printf("%-26s %-22s %-22s\n", "workload", "Clipper-like (states/s)", "Ray (states/s)");
+  std::printf("%-26s %-22.0f %-22.0f\n", "small input (4KB, 10ms)", small.rest_states_s,
+              small.ray_states_s);
+  std::printf("%-26s %-22.0f %-22.0f\n", "larger input (100KB, 5ms)", large.rest_states_s,
+              large.ray_states_s);
+  std::printf("\npaper: small 4400 vs 6200; larger 290 vs 6900 — Ray's margin should widen\n"
+              "dramatically on the large-input row.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Table 4: simulation throughput (Pendulum timesteps/s) — MPI-style bulk
+// synchronous rounds vs Ray asynchronous tasks. Rollouts have heterogeneous
+// lengths; a BSP round ends only when its slowest rollout ends, while Ray
+// keeps every core busy by gathering results with ray.wait and resubmitting
+// immediately. Paper: Ray reaches up to 1.8x the BSP throughput at scale.
+#include <cstdio>
+
+#include "baselines/mpi.h"
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "raylib/env.h"
+#include "runtime/api.h"
+
+namespace ray {
+namespace {
+
+// A rollout task: runs one episode in the named env, returns steps simulated.
+int SimRollout(std::string env_name, uint64_t seed, int max_steps) {
+  auto env = envs::MakeEnv(env_name);
+  std::vector<float> policy(static_cast<size_t>(env->ActionDim()) * env->StateDim() + env->ActionDim(),
+                            0.0f);
+  int steps = 0;
+  envs::RolloutLinearPolicy(*env, policy, seed, max_steps, &steps);
+  return steps;
+}
+
+double RayAsyncThroughput(int cores, int total_tasks) {
+  ClusterConfig config;
+  config.num_nodes = std::max(1, cores / 2);
+  config.scheduler.total_resources = ResourceSet::Cpu(cores / std::max(1, cores / 2));
+  config.scheduler.spillover_queue_threshold = 1;
+  config.net.control_latency_us = 10;
+  Cluster cluster(config);
+  cluster.RegisterFunction("sim_rollout", &SimRollout);
+  Ray ray = Ray::OnNode(cluster, 0);
+  SleepMicros(30'000);
+
+  Timer timer;
+  uint64_t seed = 1;
+  std::vector<ObjectRef<int>> in_flight;
+  int submitted = 0;
+  auto submit = [&] {
+    in_flight.push_back(ray.Call<int>("sim_rollout", std::string("pendulum_sim"), seed++, 2000));
+    ++submitted;
+  };
+  // The paper submits 3n tasks up front (Table 4 methodology).
+  for (int i = 0; i < 3 * cores && submitted < total_tasks; ++i) {
+    submit();
+  }
+  uint64_t total_steps = 0;
+  int completed = 0;
+  while (completed < total_tasks) {
+    auto ready = ray.Wait(in_flight, 1, 120'000'000);
+    RAY_CHECK(!ready.empty());
+    size_t idx = ready[0];
+    auto steps = ray.Get(in_flight[idx], 120'000'000);
+    RAY_CHECK(steps.ok());
+    total_steps += *steps;
+    ++completed;
+    in_flight.erase(in_flight.begin() + static_cast<long>(idx));
+    if (submitted < total_tasks) {
+      submit();
+    }
+  }
+  return static_cast<double>(total_steps) / timer.ElapsedSeconds();
+}
+
+}  // namespace
+}  // namespace ray
+
+int main() {
+  using namespace ray;
+  bench::Banner("Table 4", "Pendulum simulation timesteps/s: MPI bulk-synchronous vs Ray async",
+                "1-256 cores -> 1-8 logical cores; 20us/step simulated; episodes 200-2000 steps");
+  int rounds = bench::QuickMode() ? 4 : 10;
+
+  std::printf("%-8s %-24s %-24s %-8s\n", "cores", "MPI BSP (steps/s)", "Ray async (steps/s)",
+              "ratio");
+  for (int cores : {1, 4, 8}) {
+    auto bsp = baselines::BspSimulation(cores, "pendulum_sim", rounds, 2000, 7);
+    double ray_tput = RayAsyncThroughput(cores, rounds * cores);
+    std::printf("%-8d %-24.0f %-24.0f %-8.2f\n", cores, bsp.timesteps_per_second, ray_tput,
+                ray_tput / bsp.timesteps_per_second);
+  }
+  std::printf("\npaper: 22.6K vs 22.3K (1 CPU), 208K vs 290K (16), 2.16M vs 4.03M (256) —\n"
+              "parity at 1 core, Ray pulling ahead as heterogeneous rollout lengths make\n"
+              "BSP rounds wait on stragglers.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the per-figure/table benchmark binaries. Each binary
+// prints its paper anchor (figure/table number), the rows/series the paper
+// reports, and the machine scale-down it applies. RAY_BENCH_QUICK=1 shrinks
+// everything further for smoke runs.
+#ifndef RAY_BENCH_BENCH_UTIL_H_
+#define RAY_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ray {
+namespace bench {
+
+inline bool QuickMode() {
+  const char* v = std::getenv("RAY_BENCH_QUICK");
+  return v != nullptr && v[0] == '1';
+}
+
+inline void Banner(const std::string& anchor, const std::string& what, const std::string& scaling) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", anchor.c_str(), what.c_str());
+  std::printf("scale-down: %s\n", scaling.c_str());
+  std::printf("==================================================================\n");
+}
+
+inline std::string HumanBytes(size_t bytes) {
+  char buf[32];
+  if (bytes >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.0fGB", static_cast<double>(bytes) / (1ull << 30));
+  } else if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.0fMB", static_cast<double>(bytes) / (1ull << 20));
+  } else if (bytes >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.0fKB", static_cast<double>(bytes) / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace ray
+
+#endif  // RAY_BENCH_BENCH_UTIL_H_

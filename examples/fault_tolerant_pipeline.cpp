@@ -1,0 +1,91 @@
+// Fault tolerance demo: a data pipeline keeps producing correct results
+// while cluster nodes die underneath it. Lineage in the GCS re-executes lost
+// tasks transparently, and a checkpointed actor is reconstructed on a fresh
+// node with its state intact (Sections 4.2.1, 4.2.3).
+#include <cstdio>
+
+#include "runtime/api.h"
+
+namespace {
+
+std::vector<float> Generate(int n, float v) { return std::vector<float>(n, v); }
+
+float Stage(std::vector<float> data, float scale) {
+  float total = 0;
+  for (float x : data) {
+    total += x * scale;
+  }
+  return total;
+}
+
+class RunningStats {
+ public:
+  float Observe(float x) {
+    ++count_;
+    total_ += x;
+    return total_ / count_;
+  }
+
+  void SaveCheckpoint(ray::Writer& w) const {
+    ray::Put(w, count_);
+    ray::Put(w, total_);
+  }
+  void RestoreCheckpoint(ray::Reader& r) {
+    count_ = ray::Take<int>(r);
+    total_ = ray::Take<float>(r);
+  }
+
+ private:
+  int count_ = 0;
+  float total_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace ray;
+
+  ClusterConfig config;
+  config.num_nodes = 5;
+  config.scheduler.total_resources = ResourceSet::Cpu(2);
+  config.actor_checkpoint_interval = 8;  // checkpoint every 8 method calls
+  Cluster cluster(config);
+  cluster.RegisterFunction("generate", &Generate);
+  cluster.RegisterFunction("stage", &Stage);
+  cluster.RegisterActorClass<RunningStats>("RunningStats");
+  cluster.RegisterActorMethod("RunningStats", "Observe", &RunningStats::Observe);
+
+  // Pin the stats actor away from the driver so we can kill its node later.
+  NodeId actor_node = cluster.AddNodeWithResources(ResourceSet{{"CPU", 1}, {"stats", 1}});
+  cluster.AddNodeWithResources(ResourceSet{{"CPU", 1}, {"stats", 1}});  // recovery spare
+
+  Ray ray = Ray::OnNode(cluster, 0);
+  ActorHandle stats = ray.CreateActor("RunningStats", ResourceSet{{"CPU", 1}, {"stats", 1}});
+
+  auto run_batch = [&](int batches) {
+    ObjectRef<float> mean;
+    for (int b = 0; b < batches; ++b) {
+      auto data = ray.Call<std::vector<float>>("generate", 1000, 1.0f);
+      auto reduced = ray.Call<float>("stage", data, 0.5f);
+      mean = stats.Call<float>("Observe", reduced);
+    }
+    return *ray.Get(mean, 60'000'000);
+  };
+
+  std::printf("pipeline mean after 10 batches: %.1f\n", run_batch(10));
+
+  // Kill two worker nodes; in-flight and stored intermediates die with them.
+  std::printf("killing 2 of %zu nodes...\n", cluster.NumNodes());
+  cluster.KillNode(3);
+  cluster.KillNode(4);
+  std::printf("pipeline mean after 10 more batches: %.1f (lineage re-executed lost work)\n",
+              run_batch(10));
+
+  // Kill the actor's node: it recovers from its checkpoint elsewhere.
+  std::printf("killing the stats actor's node...\n");
+  cluster.KillNode(actor_node);
+  float mean = run_batch(5);
+  std::printf("pipeline mean after actor recovery: %.1f (state preserved: %s)\n", mean,
+              mean == 500.0f ? "yes" : "NO");
+  return mean == 500.0f ? 0 : 1;
+}

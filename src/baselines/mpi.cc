@@ -1,0 +1,224 @@
+#include "baselines/mpi.h"
+
+#include <barrier>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "raylib/env.h"
+#include "common/random.h"
+
+namespace ray {
+namespace baselines {
+
+AllreduceResult MpiRingAllreduce(SimNetwork& net, const std::vector<NodeId>& ranks,
+                                 size_t elements, int iterations,
+                                 const std::vector<std::vector<float>>* inputs) {
+  int n = static_cast<int>(ranks.size());
+  RAY_CHECK(n >= 2);
+  std::vector<std::vector<float>> buffers(n);
+  for (int i = 0; i < n; ++i) {
+    if (inputs != nullptr) {
+      buffers[i] = (*inputs)[i];
+    } else {
+      buffers[i].assign(elements, static_cast<float>(i + 1));
+    }
+  }
+  size_t per = elements / n;
+  auto range = [&](int c) {
+    size_t begin = per * c;
+    size_t end = (c == n - 1) ? elements : begin + per;
+    return std::pair<size_t, size_t>(begin, end);
+  };
+
+  // Staging area: chunk contents handed rank-to-rank each step.
+  std::vector<std::vector<float>> inbox(n);
+  std::barrier<> sync(n);
+  Timer timer;
+  auto rank_fn = [&](int i) {
+    for (int it = 0; it < iterations; ++it) {
+      // Reduce-scatter. One progress thread: the send (1 stream) completes
+      // before the receive is processed, like single-threaded MPI progress.
+      for (int s = 0; s < n - 1; ++s) {
+        int c = ((i - s) % n + n) % n;
+        auto [b, e] = range(c);
+        std::vector<float> out(buffers[i].begin() + b, buffers[i].begin() + e);
+        Status st = net.Transfer(ranks[i], ranks[(i + 1) % n], (e - b) * sizeof(float), 1);
+        RAY_CHECK(st.ok());
+        inbox[(i + 1) % n] = std::move(out);
+        sync.arrive_and_wait();  // send phase done cluster-wide
+        int rc = (((i - 1) - s) % n + n) % n;  // chunk arriving from rank i-1
+        auto [rb, re] = range(rc);
+        for (size_t k = rb; k < re; ++k) {
+          buffers[i][k] += inbox[i][k - rb];
+        }
+        sync.arrive_and_wait();  // apply phase done
+      }
+      // Allgather.
+      for (int s = 0; s < n - 1; ++s) {
+        int c = ((i + 1 - s) % n + n) % n;
+        auto [b, e] = range(c);
+        std::vector<float> out(buffers[i].begin() + b, buffers[i].begin() + e);
+        Status st = net.Transfer(ranks[i], ranks[(i + 1) % n], (e - b) * sizeof(float), 1);
+        RAY_CHECK(st.ok());
+        inbox[(i + 1) % n] = std::move(out);
+        sync.arrive_and_wait();
+        int rc = ((i - s) % n + n) % n;
+        auto [rb, re] = range(rc);
+        std::copy(inbox[i].begin(), inbox[i].end(), buffers[i].begin() + rb);
+        sync.arrive_and_wait();
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back(rank_fn, i);
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  AllreduceResult result;
+  result.seconds_per_iteration = timer.ElapsedSeconds() / iterations;
+  result.reduced = std::move(buffers[0]);
+  return result;
+}
+
+SimulationResult BspSimulation(int num_cores, const std::string& env_name, int rounds,
+                               int max_steps, uint64_t seed_base) {
+  // Dummy policy: zeros (the comparison measures simulation throughput, not
+  // learning).
+  std::mutex mu;
+  uint64_t total_steps = 0;
+  Timer timer;
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<std::thread> workers;
+    workers.reserve(num_cores);
+    for (int c = 0; c < num_cores; ++c) {
+      workers.emplace_back([&, c, r] {
+        auto env = envs::MakeEnv(env_name);
+        std::vector<float> policy(
+            static_cast<size_t>(env->ActionDim()) * env->StateDim() + env->ActionDim(), 0.0f);
+        int steps = 0;
+        envs::RolloutLinearPolicy(*env, policy, seed_base + static_cast<uint64_t>(r) * num_cores + c,
+                                  max_steps, &steps);
+        std::lock_guard<std::mutex> lock(mu);
+        total_steps += steps;
+      });
+    }
+    // Global barrier: the round ends when the slowest rollout ends.
+    for (auto& w : workers) {
+      w.join();
+    }
+  }
+  SimulationResult result;
+  result.total_steps = total_steps;
+  result.timesteps_per_second = static_cast<double>(total_steps) / timer.ElapsedSeconds();
+  return result;
+}
+
+MpiPpoResult MpiPpo(SimNetwork& net, const std::vector<NodeId>& ranks, const MpiPpoConfig& config) {
+  int n = config.num_ranks;
+  RAY_CHECK(static_cast<int>(ranks.size()) >= n);
+  size_t dim =
+      static_cast<size_t>(config.policy_action_dim) * config.policy_state_dim + config.policy_action_dim;
+  Rng init(13);
+  std::vector<float> policy = init.NormalVector(dim, 0.0, 0.05);
+
+  std::barrier<> sync(n);
+  std::mutex mu;
+  uint64_t grand_total_steps = 0;
+  std::vector<std::vector<float>> grads(n, std::vector<float>(dim, 0.0f));
+
+  Timer timer;
+  auto rank_fn = [&](int i) {
+    Rng rng(1000 + i);
+    for (int it = 0; it < config.iterations; ++it) {
+      // Rollout phase: every rank collects its share of the global quota;
+      // the barrier means the slowest rank's tail rollout stalls everyone.
+      uint64_t quota = static_cast<uint64_t>(config.steps_per_batch) / n;
+      uint64_t steps = 0;
+      std::fill(grads[i].begin(), grads[i].end(), 0.0f);
+      double baseline = 0.0;
+      int episodes = 0;
+      while (steps < quota) {
+        uint64_t seed = rng.Engine()();
+        Rng eps_rng(seed);
+        std::vector<float> eps = eps_rng.NormalVector(dim);
+        std::vector<float> noisy = policy;
+        for (size_t k = 0; k < dim; ++k) {
+          noisy[k] += config.noise_sigma * eps[k];
+        }
+        auto env = envs::MakeEnv(config.env);
+        int ep_steps = 0;
+        float reward = envs::RolloutLinearPolicy(*env, noisy, seed, config.rollout_max_steps, &ep_steps);
+        steps += ep_steps;
+        ++episodes;
+        baseline += (reward - baseline) / episodes;
+        for (size_t k = 0; k < dim; ++k) {
+          grads[i][k] += (reward - static_cast<float>(baseline)) * eps[k];
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        grand_total_steps += steps;
+      }
+      sync.arrive_and_wait();  // global barrier before the gradient exchange
+
+      // Gradient allreduce (ring, single stream per rank).
+      for (int s = 0; s < n - 1; ++s) {
+        Status st = net.Transfer(ranks[i], ranks[(i + 1) % n], dim / n * sizeof(float), 1);
+        RAY_CHECK(st.ok());
+        sync.arrive_and_wait();
+      }
+      // Every rank applies the identical update (emulated with rank 0's
+      // reduction applied globally at the barrier below).
+      sync.arrive_and_wait();
+      if (i == 0) {
+        std::vector<float> sum(dim, 0.0f);
+        for (int r = 0; r < n; ++r) {
+          for (size_t k = 0; k < dim; ++k) {
+            sum[k] += grads[r][k];
+          }
+        }
+        // Optimizer compute on every rank in the real system; charged once
+        // per rank via the loop below (identical duration).
+        float scale = config.lr / (config.noise_sigma * n);
+        for (size_t k = 0; k < dim; ++k) {
+          policy[k] += scale * sum[k];
+        }
+      }
+      // SGD-epoch burn on every (GPU) rank — symmetric architecture.
+      volatile float sink = 0.0f;
+      for (int e = 0; e < config.sgd_epochs; ++e) {
+        for (int m = 0; m < config.minibatch / 64; ++m) {
+          float acc = 0.0f;
+          for (size_t k = 0; k < dim; ++k) {
+            acc += policy[k] * grads[i][k];
+          }
+          sink = sink + acc;
+        }
+      }
+      (void)sink;
+      sync.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back(rank_fn, i);
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  MpiPpoResult result;
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.total_steps = grand_total_steps;
+  result.gpu_ranks = n;
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace ray

@@ -1,0 +1,74 @@
+// Specialized-system baselines emulated over the same SimNetwork, so every
+// comparison against Ray charges identical wire costs and differs only in
+// coordination structure:
+//   - MpiRingAllreduce: ring allreduce with single-stream transfers and a
+//     single progress thread per rank (OpenMPI's behavior per the paper's
+//     Fig. 12a analysis).
+//   - BspSimulation: bulk-synchronous simulation rounds with global
+//     barriers (Table 4's MPI comparison): every round waits for its
+//     slowest, heterogeneous-length rollout.
+//   - MpiPpo: symmetric BSP PPO (Fig. 14b): every rank runs identical code
+//     and needs identical (GPU) resources; rounds are barrier-synchronized.
+#ifndef RAY_BASELINES_MPI_H_
+#define RAY_BASELINES_MPI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/id.h"
+#include "net/sim_network.h"
+
+namespace ray {
+namespace baselines {
+
+struct AllreduceResult {
+  double seconds_per_iteration = 0.0;
+  std::vector<float> reduced;  // rank 0's buffer, for correctness checks
+};
+
+// Runs `iterations` ring allreduces of `elements` floats across
+// `ranks.size()` ranks (one thread each). Each transfer uses one stream.
+AllreduceResult MpiRingAllreduce(SimNetwork& net, const std::vector<NodeId>& ranks,
+                                 size_t elements, int iterations,
+                                 const std::vector<std::vector<float>>* inputs = nullptr);
+
+struct SimulationResult {
+  double timesteps_per_second = 0.0;
+  uint64_t total_steps = 0;
+};
+
+// BSP simulation: 3 rounds of one rollout per core with a global barrier
+// between rounds (the paper's MPI comparison methodology, Table 4).
+SimulationResult BspSimulation(int num_cores, const std::string& env_name, int rounds,
+                               int max_steps, uint64_t seed_base);
+
+struct MpiPpoConfig {
+  std::string env = "humanoid";
+  int policy_state_dim = 64;
+  int policy_action_dim = 16;
+  int iterations = 3;
+  int steps_per_batch = 3000;
+  int rollout_max_steps = 500;
+  int num_ranks = 8;
+  float noise_sigma = 0.05f;
+  float lr = 0.02f;
+  int sgd_epochs = 20;
+  int minibatch = 1024;
+};
+
+struct MpiPpoResult {
+  double wall_seconds = 0.0;
+  uint64_t total_steps = 0;
+  // Every rank must be a GPU instance (symmetric architecture).
+  int gpu_ranks = 0;
+};
+
+// Symmetric BSP PPO: all ranks alternate (rollouts until the global quota,
+// barrier, gradient allreduce, local update). Stragglers stall every rank.
+MpiPpoResult MpiPpo(SimNetwork& net, const std::vector<NodeId>& ranks, const MpiPpoConfig& config);
+
+}  // namespace baselines
+}  // namespace ray
+
+#endif  // RAY_BASELINES_MPI_H_

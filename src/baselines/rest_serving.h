@@ -1,0 +1,56 @@
+// Clipper-like REST serving baseline (Table 3). A dedicated serving system
+// reached over HTTP pays, per request: text (JSON-style) encoding and
+// decoding of the payload on both sides, a socket round trip, and extra
+// copies — none of which the embedded Ray actor pays thanks to shared
+// memory. The model evaluation itself is identical (same Mlp).
+#ifndef RAY_BASELINES_REST_SERVING_H_
+#define RAY_BASELINES_REST_SERVING_H_
+
+#include <memory>
+#include <vector>
+
+#include "raylib/nn.h"
+
+namespace ray {
+namespace baselines {
+
+struct RestCostModel {
+  // JSON-ish encode/decode throughput (bytes of raw floats per second).
+  double serialize_bytes_per_sec = 120e6;
+  // Text encoding inflates payloads (float -> ~13 chars).
+  double encoding_inflation = 3.0;
+  // Socket + HTTP dispatch round trip.
+  int64_t request_latency_us = 1500;
+  // Loopback socket bandwidth.
+  double socket_bytes_per_sec = 1.2e9;
+};
+
+class RestServingModel {
+ public:
+  RestServingModel(std::vector<int> layer_sizes, int64_t extra_eval_us,
+                   const RestCostModel& cost = RestCostModel{});
+
+  // One REST request: encode -> socket -> decode -> evaluate -> encode ->
+  // socket -> decode. Returns the actions; wall time is charged for real.
+  std::vector<float> Evaluate(const std::vector<float>& states, int batch);
+
+  struct Stats {
+    double states_per_second = 0.0;
+    double mean_latency_ms = 0.0;
+    uint64_t total_states = 0;
+  };
+  // Closed-loop client for `duration_seconds`.
+  Stats Drive(int state_dim, int batch, double duration_seconds, int num_clients = 1);
+
+ private:
+  void ChargeTransferCosts(size_t payload_bytes) const;
+
+  nn::Mlp model_;
+  int64_t extra_eval_us_;
+  RestCostModel cost_;
+};
+
+}  // namespace baselines
+}  // namespace ray
+
+#endif  // RAY_BASELINES_REST_SERVING_H_

@@ -1,0 +1,47 @@
+// Immutable shared byte buffers. Objects in the store are immutable (Section
+// 4.2.3), so a buffer can be shared zero-copy among all readers on a node via
+// shared_ptr, which plays the role of shared memory in the real system.
+#ifndef RAY_COMMON_BUFFER_H_
+#define RAY_COMMON_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ray {
+
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(size_t size) : data_(size) {}
+  explicit Buffer(std::vector<uint8_t> data) : data_(std::move(data)) {}
+  Buffer(const void* src, size_t size) : data_(size) {
+    if (size > 0) {
+      std::memcpy(data_.data(), src, size);
+    }
+  }
+
+  static std::shared_ptr<Buffer> FromString(const std::string& s) {
+    return std::make_shared<Buffer>(s.data(), s.size());
+  }
+
+  const uint8_t* Data() const { return data_.data(); }
+  uint8_t* MutableData() { return data_.data(); }
+  size_t Size() const { return data_.size(); }
+  bool Empty() const { return data_.empty(); }
+
+  std::string ToString() const { return std::string(reinterpret_cast<const char*>(data_.data()), data_.size()); }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) { return a.data_ == b.data_; }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+using BufferPtr = std::shared_ptr<const Buffer>;
+
+}  // namespace ray
+
+#endif  // RAY_COMMON_BUFFER_H_

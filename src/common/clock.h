@@ -1,0 +1,55 @@
+// Time utilities. All latencies in the system are measured with the steady
+// clock; benches report microseconds/milliseconds derived from it.
+#ifndef RAY_COMMON_CLOCK_H_
+#define RAY_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace ray {
+
+inline int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline double NowSeconds() { return static_cast<double>(NowMicros()) / 1e6; }
+
+inline void SleepMicros(int64_t us) {
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+// Scoped stopwatch.
+class Timer {
+ public:
+  Timer() : start_(NowMicros()) {}
+  void Reset() { start_ = NowMicros(); }
+  int64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedMicros()) / 1e6; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedMicros()) / 1e3; }
+
+ private:
+  int64_t start_;
+};
+
+// Busy-spin for very short simulated delays where sleep granularity would
+// distort sub-100us measurements; falls back to sleeping for longer waits.
+inline void PreciseDelayMicros(int64_t us) {
+  if (us <= 0) {
+    return;
+  }
+  int64_t deadline = NowMicros() + us;
+  if (us > 200) {
+    SleepMicros(us - 100);  // coarse sleep, then spin the remainder
+  }
+  while (NowMicros() < deadline) {
+  }
+}
+
+}  // namespace ray
+
+#endif  // RAY_COMMON_CLOCK_H_

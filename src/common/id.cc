@@ -1,0 +1,88 @@
+#include "common/id.h"
+
+#include <atomic>
+#include <random>
+
+namespace ray {
+namespace {
+
+// 128-bit mixing based on two rounds of splitmix64 over each half. Good
+// enough for uniqueness/dispersion; this is not cryptographic.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::pair<uint64_t, uint64_t> RandomPair() {
+  // Thread-local generator seeded once per thread from random_device plus a
+  // global counter, so concurrent threads never collide.
+  static std::atomic<uint64_t> counter{0};
+  thread_local std::mt19937_64 gen([] {
+    std::random_device rd;
+    return (static_cast<uint64_t>(rd()) << 32) ^ rd() ^ SplitMix64(counter.fetch_add(1) + 0x51ULL);
+  }());
+  return {gen(), gen()};
+}
+
+}  // namespace
+
+template <typename Tag>
+BaseId<Tag> BaseId<Tag>::FromRandom() {
+  BaseId id;
+  auto [a, b] = RandomPair();
+  std::memcpy(id.data_.data(), &a, 8);
+  std::memcpy(id.data_.data() + 8, &b, 8);
+  return id;
+}
+
+template <typename Tag>
+BaseId<Tag> BaseId<Tag>::Derive(uint64_t index) const {
+  uint64_t lo;
+  uint64_t hi;
+  std::memcpy(&lo, data_.data(), 8);
+  std::memcpy(&hi, data_.data() + 8, 8);
+  uint64_t a = SplitMix64(lo ^ SplitMix64(index));
+  uint64_t b = SplitMix64(hi ^ SplitMix64(index + 0x1234567ULL));
+  BaseId out;
+  std::memcpy(out.data_.data(), &a, 8);
+  std::memcpy(out.data_.data() + 8, &b, 8);
+  return out;
+}
+
+template <typename Tag>
+BaseId<Tag> BaseId<Tag>::FromBinary(const std::string& bytes) {
+  BaseId id;
+  std::memcpy(id.data_.data(), bytes.data(), std::min(bytes.size(), kSize));
+  return id;
+}
+
+template <typename Tag>
+std::string BaseId<Tag>::Hex() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(kSize * 2);
+  for (uint8_t b : data_) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+ObjectId ObjectIdForReturn(const TaskId& task, uint64_t index) {
+  return task.Derive(index + 1).Cast<ObjectIdTag>();
+}
+
+ObjectId ActorCursorId(const ActorId& actor, uint64_t call_index) {
+  return actor.Derive(call_index ^ 0xac7091d5ULL).Cast<ObjectIdTag>();
+}
+
+template class BaseId<ObjectIdTag>;
+template class BaseId<TaskIdTag>;
+template class BaseId<ActorIdTag>;
+template class BaseId<NodeIdTag>;
+template class BaseId<WorkerIdTag>;
+template class BaseId<FunctionIdTag>;
+
+}  // namespace ray

@@ -1,0 +1,109 @@
+// Unique identifiers for every entity tracked by the system: objects, tasks,
+// actors, nodes, and workers. IDs are 128-bit values. Task IDs are generated
+// randomly (they incorporate driver/parent entropy at submission time), and
+// object IDs are derived deterministically from the task that produces them
+// plus the output index — this is what makes lineage reconstruction possible:
+// re-executing a task reproduces the same object IDs.
+#ifndef RAY_COMMON_ID_H_
+#define RAY_COMMON_ID_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+namespace ray {
+
+// A 128-bit identifier. `Tag` makes each ID kind a distinct type so that a
+// TaskId cannot be passed where an ObjectId is expected.
+template <typename Tag>
+class BaseId {
+ public:
+  static constexpr size_t kSize = 16;
+
+  constexpr BaseId() : data_{} {}
+
+  static BaseId FromRandom();
+
+  // Derives a new ID by hashing this ID together with `index`. Deterministic:
+  // the same (id, index) pair always yields the same result.
+  BaseId Derive(uint64_t index) const;
+
+  // Re-tags the raw bytes as a different ID kind (e.g. the object that
+  // represents an actor's state cursor is derived from the actor ID).
+  template <typename OtherTag>
+  BaseId<OtherTag> Cast() const {
+    BaseId<OtherTag> out;
+    std::memcpy(out.MutableData(), data_.data(), kSize);
+    return out;
+  }
+
+  static BaseId FromBinary(const std::string& bytes);
+
+  bool IsNil() const {
+    for (uint8_t b : data_) {
+      if (b != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string Binary() const { return std::string(reinterpret_cast<const char*>(data_.data()), kSize); }
+  std::string Hex() const;
+
+  uint64_t Hash() const {
+    uint64_t h;
+    std::memcpy(&h, data_.data(), sizeof(h));
+    return h;
+  }
+
+  const uint8_t* Data() const { return data_.data(); }
+  uint8_t* MutableData() { return data_.data(); }
+
+  friend bool operator==(const BaseId& a, const BaseId& b) { return a.data_ == b.data_; }
+  friend bool operator!=(const BaseId& a, const BaseId& b) { return !(a == b); }
+  friend bool operator<(const BaseId& a, const BaseId& b) { return a.data_ < b.data_; }
+
+ private:
+  std::array<uint8_t, kSize> data_;
+};
+
+struct ObjectIdTag {};
+struct TaskIdTag {};
+struct ActorIdTag {};
+struct NodeIdTag {};
+struct WorkerIdTag {};
+struct FunctionIdTag {};
+
+using ObjectId = BaseId<ObjectIdTag>;
+using TaskId = BaseId<TaskIdTag>;
+using ActorId = BaseId<ActorIdTag>;
+using NodeId = BaseId<NodeIdTag>;
+using WorkerId = BaseId<WorkerIdTag>;
+using FunctionId = BaseId<FunctionIdTag>;
+
+// The object produced as the `index`-th return value of `task`.
+ObjectId ObjectIdForReturn(const TaskId& task, uint64_t index);
+
+// The synthetic "cursor" object that represents the actor's state after its
+// `call_index`-th method. Stateful edges in the task graph are expressed as a
+// dependency on the previous cursor.
+ObjectId ActorCursorId(const ActorId& actor, uint64_t call_index);
+
+template <typename Tag>
+std::string ToShortString(const BaseId<Tag>& id) {
+  return id.Hex().substr(0, 8);
+}
+
+}  // namespace ray
+
+namespace std {
+template <typename Tag>
+struct hash<ray::BaseId<Tag>> {
+  size_t operator()(const ray::BaseId<Tag>& id) const noexcept { return static_cast<size_t>(id.Hash()); }
+};
+}  // namespace std
+
+#endif  // RAY_COMMON_ID_H_

@@ -1,0 +1,27 @@
+#include "common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace ray {
+
+std::atomic<LogLevel> Logger::threshold_{LogLevel::kInfo};
+
+void Logger::Emit(LogLevel level, const char* file, int line, const std::string& message) {
+  static std::mutex mu;
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR", "FATAL"};
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  auto now = std::chrono::system_clock::now().time_since_epoch();
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%lld.%03lld %s %s:%d] %s\n", static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), kNames[static_cast<int>(level)], base, line, message.c_str());
+}
+
+}  // namespace ray

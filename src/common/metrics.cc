@@ -1,0 +1,106 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ray {
+
+void Ema::Observe(double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!has_value_) {
+    value_ = sample;
+    has_value_ = true;
+  } else {
+    value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+  }
+}
+
+double Ema::Value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return value_;
+}
+
+bool Ema::HasValue() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return has_value_;
+}
+
+void Histogram::Observe(double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  if (samples_.size() < max_samples_) {
+    samples_.push_back(sample);
+  } else {
+    // Reservoir sampling keeps percentiles unbiased under overflow.
+    size_t idx = static_cast<size_t>(std::fmod(sample * 1e9 + count_ * 2654435761.0, count_));
+    if (idx < samples_.size()) {
+      samples_[idx] = sample;
+    }
+  }
+}
+
+size_t Histogram::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::Mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::Max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::Sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string Histogram::Summary(const std::string& unit) const {
+  std::ostringstream out;
+  out << "n=" << Count() << " mean=" << Mean() << unit << " p50=" << Percentile(50) << unit
+      << " p99=" << Percentile(99) << unit << " max=" << Max() << unit;
+  return out.str();
+}
+
+void Counter::Add(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  value_ += n;
+}
+
+uint64_t Counter::Value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return value_;
+}
+
+}  // namespace ray

@@ -1,0 +1,69 @@
+// Lightweight metrics used by both the schedulers (exponential averaging of
+// task duration / transfer bandwidth, Section 4.2.2) and the benchmark
+// harness (latency histograms with percentile extraction).
+#ifndef RAY_COMMON_METRICS_H_
+#define RAY_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ray {
+
+// Exponentially-weighted moving average; thread-safe.
+class Ema {
+ public:
+  explicit Ema(double alpha = 0.2) : alpha_(alpha) {}
+
+  void Observe(double sample);
+  double Value() const;
+  bool HasValue() const;
+
+ private:
+  mutable std::mutex mu_;
+  double alpha_;
+  double value_ = 0.0;
+  bool has_value_ = false;
+};
+
+// Latency histogram storing raw samples (bounded reservoir) for percentiles.
+class Histogram {
+ public:
+  explicit Histogram(size_t max_samples = 1 << 20) : max_samples_(max_samples) {}
+
+  void Observe(double sample);
+  size_t Count() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  // p in [0, 100].
+  double Percentile(double p) const;
+  double Sum() const;
+
+  std::string Summary(const std::string& unit) const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t max_samples_;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> samples_;
+};
+
+// Monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1);
+  uint64_t Value() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t value_ = 0;
+};
+
+}  // namespace ray
+
+#endif  // RAY_COMMON_METRICS_H_

@@ -1,0 +1,46 @@
+// Deterministic-when-seeded RNG helpers used by workload generators and the
+// RL substrate. Each component owns its own Rng so experiments are
+// reproducible regardless of thread interleaving.
+#ifndef RAY_COMMON_RANDOM_H_
+#define RAY_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ray {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : gen_(seed) {}
+
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  int64_t UniformInt(int64_t lo, int64_t hi_inclusive) {
+    return std::uniform_int_distribution<int64_t>(lo, hi_inclusive)(gen_);
+  }
+
+  std::vector<float> NormalVector(size_t n, double mean = 0.0, double stddev = 1.0) {
+    std::vector<float> v(n);
+    std::normal_distribution<double> dist(mean, stddev);
+    for (auto& x : v) {
+      x = static_cast<float>(dist(gen_));
+    }
+    return v;
+  }
+
+  std::mt19937_64& Engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace ray
+
+#endif  // RAY_COMMON_RANDOM_H_

@@ -1,0 +1,61 @@
+#include "common/resource.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ray {
+
+namespace {
+constexpr double kEpsilon = 1e-9;
+}
+
+double ResourceSet::Get(const std::string& name) const {
+  auto it = quantities_.find(name);
+  return it == quantities_.end() ? 0.0 : it->second;
+}
+
+void ResourceSet::Set(const std::string& name, double quantity) {
+  if (quantity <= kEpsilon) {
+    quantities_.erase(name);
+  } else {
+    quantities_[name] = quantity;
+  }
+}
+
+bool ResourceSet::Contains(const ResourceSet& demand) const {
+  for (const auto& [name, qty] : demand.quantities_) {
+    if (Get(name) + kEpsilon < qty) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ResourceSet::Subtract(const ResourceSet& demand) {
+  for (const auto& [name, qty] : demand.quantities_) {
+    Set(name, Get(name) - qty);
+  }
+}
+
+void ResourceSet::Add(const ResourceSet& other) {
+  for (const auto& [name, qty] : other.quantities_) {
+    Set(name, Get(name) + qty);
+  }
+}
+
+std::string ResourceSet::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [name, qty] : quantities_) {
+    if (!first) {
+      out << ", ";
+    }
+    first = false;
+    out << name << ": " << qty;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace ray

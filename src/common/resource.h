@@ -1,0 +1,45 @@
+// Resource accounting. Tasks and actors declare demands such as
+// {"CPU": 1, "GPU": 2}; nodes advertise capacities. The scheduler treats
+// resources as opaque named quantities, which is what lets PPO place CPU-only
+// rollout tasks on CPU nodes and optimizer actors on GPU nodes (Section 5.3.2).
+#ifndef RAY_COMMON_RESOURCE_H_
+#define RAY_COMMON_RESOURCE_H_
+
+#include <initializer_list>
+#include <map>
+#include <string>
+
+namespace ray {
+
+class ResourceSet {
+ public:
+  ResourceSet() = default;
+  ResourceSet(std::initializer_list<std::pair<const std::string, double>> items) : quantities_(items) {}
+  explicit ResourceSet(std::map<std::string, double> quantities) : quantities_(std::move(quantities)) {}
+
+  static ResourceSet Cpu(double n) { return ResourceSet{{"CPU", n}}; }
+
+  double Get(const std::string& name) const;
+  void Set(const std::string& name, double quantity);
+
+  // True if every demand in `demand` is satisfiable from this set.
+  bool Contains(const ResourceSet& demand) const;
+
+  // Subtracts `demand`; caller must have checked Contains() first.
+  void Subtract(const ResourceSet& demand);
+  void Add(const ResourceSet& other);
+
+  bool IsEmpty() const { return quantities_.empty(); }
+  const std::map<std::string, double>& Quantities() const { return quantities_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const ResourceSet& a, const ResourceSet& b) { return a.quantities_ == b.quantities_; }
+
+ private:
+  std::map<std::string, double> quantities_;
+};
+
+}  // namespace ray
+
+#endif  // RAY_COMMON_RESOURCE_H_

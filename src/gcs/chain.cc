@@ -1,0 +1,177 @@
+#include "gcs/chain.h"
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace ray {
+namespace gcs {
+
+ChainShard::ChainShard(const ChainConfig& config) : config_(config) {
+  RAY_CHECK(config_.num_replicas >= 1);
+  for (int i = 0; i < config_.num_replicas; ++i) {
+    replicas_.push_back(std::make_unique<Replica>());
+  }
+}
+
+void ChainShard::EnsureHealthyLocked(std::unique_lock<std::mutex>& lock) const {
+  for (;;) {
+    // If another client is already driving a reconfiguration, wait for it.
+    cv_.wait(lock, [&] { return !reconfiguring_; });
+    size_t dead = replicas_.size();
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (!replicas_[i]->alive) {
+        dead = i;
+        break;
+      }
+    }
+    if (dead == replicas_.size()) {
+      return;  // chain healthy
+    }
+    // This client reports the failure; the master detects and reconfigures.
+    reconfiguring_ = true;
+    ++num_reconfigurations_;
+    lock.unlock();
+    SleepMicros(config_.failure_detection_us);
+    lock.lock();
+
+    // Remove the dead replica from the chain.
+    replicas_.erase(replicas_.begin() + static_cast<long>(dead));
+    RAY_CHECK(!replicas_.empty()) << "all chain replicas dead; data lost";
+
+    // Splice in a replacement at the tail: state transfer from current tail.
+    auto replacement = std::make_unique<Replica>();
+    size_t bytes = replicas_.back()->store.MemoryBytes() + replicas_.back()->store.DiskBytes();
+    int64_t transfer_us =
+        static_cast<int64_t>(static_cast<double>(bytes) / config_.state_transfer_bytes_per_sec * 1e6);
+    // The chain serves reads/writes from the shortened chain while the new
+    // tail catches up; only the final handoff is blocking. We emulate the
+    // catch-up off the critical path by charging a small fixed handoff cost.
+    lock.unlock();
+    SleepMicros(std::min<int64_t>(transfer_us, 5000));
+    lock.lock();
+    replacement->store.CopyFrom(replicas_.back()->store);
+    replicas_.push_back(std::move(replacement));
+
+    reconfiguring_ = false;
+    cv_.notify_all();
+  }
+}
+
+Status ChainShard::Put(const std::string& key, const std::string& value) {
+  std::unique_lock<std::mutex> lock(mu_);
+  EnsureHealthyLocked(lock);
+  for (auto& replica : replicas_) {
+    PreciseDelayMicros(config_.hop_latency_us);
+    replica->store.Put(key, value);
+  }
+  return Status::Ok();
+}
+
+Status ChainShard::Append(const std::string& key, const std::string& element) {
+  std::unique_lock<std::mutex> lock(mu_);
+  EnsureHealthyLocked(lock);
+  for (auto& replica : replicas_) {
+    PreciseDelayMicros(config_.hop_latency_us);
+    replica->store.Append(key, element);
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> ChainShard::Increment(const std::string& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  EnsureHealthyLocked(lock);
+  uint64_t value = 0;
+  for (auto& replica : replicas_) {
+    PreciseDelayMicros(config_.hop_latency_us);
+    value = replica->store.Increment(key);
+  }
+  return value;
+}
+
+Result<std::string> ChainShard::Get(const std::string& key) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  EnsureHealthyLocked(lock);
+  PreciseDelayMicros(config_.hop_latency_us);
+  auto v = replicas_.back()->store.Get(key);
+  if (!v) {
+    return Status::KeyNotFound(key);
+  }
+  return *v;
+}
+
+Result<std::vector<std::string>> ChainShard::GetList(const std::string& key) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  EnsureHealthyLocked(lock);
+  PreciseDelayMicros(config_.hop_latency_us);
+  auto v = replicas_.back()->store.GetList(key);
+  if (!v) {
+    return Status::KeyNotFound(key);
+  }
+  return *v;
+}
+
+Status ChainShard::Delete(const std::string& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  EnsureHealthyLocked(lock);
+  for (auto& replica : replicas_) {
+    PreciseDelayMicros(config_.hop_latency_us);
+    replica->store.Delete(key);
+  }
+  return Status::Ok();
+}
+
+bool ChainShard::Contains(const std::string& key) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  EnsureHealthyLocked(lock);
+  return replicas_.back()->store.Contains(key);
+}
+
+void ChainShard::KillReplica(size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index < replicas_.size()) {
+    replicas_[index]->alive = false;
+  }
+}
+
+size_t ChainShard::NumLiveReplicas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& r : replicas_) {
+    if (r->alive) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t ChainShard::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replicas_.back()->store.MemoryBytes();
+}
+
+size_t ChainShard::DiskBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replicas_.back()->store.DiskBytes();
+}
+
+size_t ChainShard::NumEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replicas_.back()->store.NumEntries();
+}
+
+size_t ChainShard::Flush(const std::function<bool(const std::string&)>& predicate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t moved = 0;
+  for (auto& replica : replicas_) {
+    moved = replica->store.Flush(predicate);
+  }
+  return moved;
+}
+
+int ChainShard::NumReconfigurations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_reconfigurations_;
+}
+
+}  // namespace gcs
+}  // namespace ray

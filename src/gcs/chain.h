@@ -1,0 +1,85 @@
+// Chain replication (van Renesse & Schneider, OSDI'04) for one GCS shard.
+// Writes propagate head -> ... -> tail and commit at the tail; reads are
+// served by the tail, which guarantees strong consistency. A master
+// (emulated in-process) handles failure reports: it removes dead replicas and
+// splices in fresh ones, which perform state transfer from the current tail
+// before serving. Client-visible latency during reconfiguration is bounded by
+// detection delay + state-transfer time, reproduced in bench_gcs_fault_tolerance
+// (paper Fig. 10a: < 30ms).
+#ifndef RAY_GCS_CHAIN_H_
+#define RAY_GCS_CHAIN_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "gcs/kv_store.h"
+
+namespace ray {
+namespace gcs {
+
+struct ChainConfig {
+  int num_replicas = 2;
+  // Latency added per replica hop on the write path and for a tail read.
+  int64_t hop_latency_us = 25;
+  // Time for the master to detect a failure after it is reported.
+  int64_t failure_detection_us = 8000;
+  // Simulated bandwidth for state transfer when a replica rejoins, bytes/s.
+  double state_transfer_bytes_per_sec = 2e9;
+};
+
+class ChainShard {
+ public:
+  explicit ChainShard(const ChainConfig& config);
+
+  // Client operations. They block while the chain is reconfiguring, exactly
+  // like a client retrying against a repaired chain.
+  Status Put(const std::string& key, const std::string& value);
+  Status Append(const std::string& key, const std::string& element);
+  Result<std::string> Get(const std::string& key) const;
+  Result<std::vector<std::string>> GetList(const std::string& key) const;
+  Status Delete(const std::string& key);
+  bool Contains(const std::string& key) const;
+  // Atomic fetch-increment; every replica applies the same deterministic
+  // update, so the chain stays consistent.
+  Result<uint64_t> Increment(const std::string& key);
+
+  // Kills replica `index`. The next operation that touches it reports the
+  // failure to the master, which reconfigures the chain (removing the dead
+  // replica) and then starts a replacement that state-transfers from the
+  // tail. This mirrors the manual kill + rejoin in Fig. 10a.
+  void KillReplica(size_t index);
+
+  size_t NumLiveReplicas() const;
+  size_t MemoryBytes() const;
+  size_t DiskBytes() const;
+  size_t NumEntries() const;
+  size_t Flush(const std::function<bool(const std::string&)>& predicate);
+
+  // Total number of reconfigurations performed (for tests).
+  int NumReconfigurations() const;
+
+ private:
+  struct Replica {
+    KvStore store;
+    bool alive = true;
+  };
+
+  // Must hold mu_. Blocks until no replica in the chain is dead, performing
+  // detection + reconfiguration + state transfer as needed.
+  void EnsureHealthyLocked(std::unique_lock<std::mutex>& lock) const;
+
+  ChainConfig config_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable std::vector<std::unique_ptr<Replica>> replicas_;
+  mutable bool reconfiguring_ = false;
+  mutable int num_reconfigurations_ = 0;
+};
+
+}  // namespace gcs
+}  // namespace ray
+
+#endif  // RAY_GCS_CHAIN_H_

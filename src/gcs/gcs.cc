@@ -1,0 +1,148 @@
+#include "gcs/gcs.h"
+
+#include <functional>
+
+#include "common/logging.h"
+
+namespace ray {
+namespace gcs {
+
+Gcs::Gcs(const GcsConfig& config) : config_(config) {
+  RAY_CHECK(config_.num_shards >= 1);
+  for (int i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<ChainShard>(config_.chain));
+  }
+}
+
+ChainShard& Gcs::ShardFor(const std::string& key) const {
+  size_t h = std::hash<std::string>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+Status Gcs::Put(const std::string& key, const std::string& value) {
+  RAY_RETURN_NOT_OK(ShardFor(key).Put(key, value));
+  Publish(key, value);
+  MaybeAutoFlush();
+  return Status::Ok();
+}
+
+Status Gcs::Append(const std::string& key, const std::string& element) {
+  RAY_RETURN_NOT_OK(ShardFor(key).Append(key, element));
+  Publish(key, element);
+  MaybeAutoFlush();
+  return Status::Ok();
+}
+
+Result<std::string> Gcs::Get(const std::string& key) const { return ShardFor(key).Get(key); }
+
+Result<std::vector<std::string>> Gcs::GetList(const std::string& key) const {
+  return ShardFor(key).GetList(key);
+}
+
+Status Gcs::Delete(const std::string& key) { return ShardFor(key).Delete(key); }
+
+Result<uint64_t> Gcs::Increment(const std::string& key) { return ShardFor(key).Increment(key); }
+
+bool Gcs::Contains(const std::string& key) const { return ShardFor(key).Contains(key); }
+
+uint64_t Gcs::Subscribe(const std::string& key, Callback callback) {
+  uint64_t token = next_token_.fetch_add(1);
+  std::lock_guard<std::mutex> lock(sub_mu_);
+  subscribers_[key].emplace_back(token, std::move(callback));
+  return token;
+}
+
+void Gcs::Unsubscribe(const std::string& key, uint64_t token) {
+  std::lock_guard<std::mutex> lock(sub_mu_);
+  auto it = subscribers_.find(key);
+  if (it == subscribers_.end()) {
+    return;
+  }
+  auto& subs = it->second;
+  for (auto sit = subs.begin(); sit != subs.end(); ++sit) {
+    if (sit->first == token) {
+      subs.erase(sit);
+      break;
+    }
+  }
+  if (subs.empty()) {
+    subscribers_.erase(it);
+  }
+}
+
+void Gcs::Publish(const std::string& key, const std::string& value) {
+  std::vector<Callback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(sub_mu_);
+    auto it = subscribers_.find(key);
+    if (it == subscribers_.end()) {
+      return;
+    }
+    callbacks.reserve(it->second.size());
+    for (const auto& [token, cb] : it->second) {
+      callbacks.push_back(cb);
+    }
+  }
+  for (const auto& cb : callbacks) {
+    cb(key, value);
+  }
+}
+
+size_t Gcs::MemoryBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->MemoryBytes();
+  }
+  return total;
+}
+
+size_t Gcs::DiskBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->DiskBytes();
+  }
+  return total;
+}
+
+size_t Gcs::NumEntries() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->NumEntries();
+  }
+  return total;
+}
+
+void Gcs::AddFlushablePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  flushable_prefixes_.push_back(prefix);
+}
+
+bool Gcs::IsFlushable(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  for (const auto& prefix : flushable_prefixes_) {
+    if (key.rfind(prefix, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Gcs::Flush() {
+  size_t moved = 0;
+  for (auto& shard : shards_) {
+    moved += shard->Flush([this](const std::string& key) { return IsFlushable(key); });
+  }
+  return moved;
+}
+
+void Gcs::MaybeAutoFlush() {
+  if (config_.flush_threshold_bytes == 0) {
+    return;
+  }
+  if (MemoryBytes() > config_.flush_threshold_bytes) {
+    Flush();
+  }
+}
+
+}  // namespace gcs
+}  // namespace ray

@@ -1,0 +1,86 @@
+// The Global Control Store: a sharded KV store with pub-sub (Section 4.2.1).
+// Keys are hashed across shards; each shard is chain-replicated. All system
+// control state (object locations, task lineage, actor state, heartbeats)
+// lives here so that every other component — schedulers, object stores,
+// workers — is stateless and can be restarted from the GCS.
+#ifndef RAY_GCS_GCS_H_
+#define RAY_GCS_GCS_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "gcs/chain.h"
+
+namespace ray {
+namespace gcs {
+
+struct GcsConfig {
+  int num_shards = 4;
+  ChainConfig chain;
+  // When > 0, entries matching the flush predicate are moved to the disk
+  // tier whenever the in-memory footprint exceeds this many bytes (Fig 10b).
+  size_t flush_threshold_bytes = 0;
+};
+
+class Gcs {
+ public:
+  explicit Gcs(const GcsConfig& config);
+
+  Status Put(const std::string& key, const std::string& value);
+  Status Append(const std::string& key, const std::string& element);
+  Result<std::string> Get(const std::string& key) const;
+  Result<std::vector<std::string>> GetList(const std::string& key) const;
+  Status Delete(const std::string& key);
+  bool Contains(const std::string& key) const;
+  // Atomic counter increment (returns the new value).
+  Result<uint64_t> Increment(const std::string& key);
+
+  // Pub-sub: `callback(key, value)` fires after every committed Put/Append to
+  // `key`. Returns a token for Unsubscribe. Callbacks run on the writer's
+  // thread after the chain write commits and must not block for long.
+  using Callback = std::function<void(const std::string& key, const std::string& value)>;
+  uint64_t Subscribe(const std::string& key, Callback callback);
+  void Unsubscribe(const std::string& key, uint64_t token);
+
+  // Footprint across shards (tail replica view).
+  size_t MemoryBytes() const;
+  size_t DiskBytes() const;
+  size_t NumEntries() const;
+
+  // Marks a key prefix as flushable: entries under it may be demoted to disk
+  // under memory pressure. Task lineage is flushable (it is only read again
+  // during reconstruction); object locations are not (they are hot).
+  void AddFlushablePrefix(const std::string& prefix);
+  // Forces a flush pass over all shards; returns bytes moved to disk.
+  size_t Flush();
+
+  ChainShard& Shard(size_t index) { return *shards_[index]; }
+  size_t NumShards() const { return shards_.size(); }
+
+ private:
+  ChainShard& ShardFor(const std::string& key) const;
+  void MaybeAutoFlush();
+  void Publish(const std::string& key, const std::string& value);
+  bool IsFlushable(const std::string& key) const;
+
+  GcsConfig config_;
+  std::vector<std::unique_ptr<ChainShard>> shards_;
+
+  mutable std::mutex sub_mu_;
+  std::unordered_map<std::string, std::vector<std::pair<uint64_t, Callback>>> subscribers_;
+  std::atomic<uint64_t> next_token_{1};
+
+  mutable std::mutex flush_mu_;
+  std::vector<std::string> flushable_prefixes_;
+};
+
+}  // namespace gcs
+}  // namespace ray
+
+#endif  // RAY_GCS_GCS_H_

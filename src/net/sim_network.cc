@@ -1,0 +1,90 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace ray {
+
+int64_t SimNetwork::EstimateTransferMicros(uint64_t bytes, int streams) const {
+  double bw = std::min(config_.link_bandwidth_bytes_s,
+                       config_.per_stream_bandwidth_bytes_s * std::max(1, streams));
+  return config_.latency_us + static_cast<int64_t>(static_cast<double>(bytes) / bw * 1e6);
+}
+
+int64_t SimNetwork::ReserveNic(const NodeId& node, int64_t now_us, int64_t duration_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t& free_at = nic_free_at_us_[node];
+  int64_t start = std::max(now_us, free_at);
+  free_at = start + duration_us;
+  return free_at;
+}
+
+Status SimNetwork::Transfer(const NodeId& from, const NodeId& to, uint64_t bytes, int streams) {
+  if (from == to) {
+    return Status::Ok();  // intra-node: shared memory, no wire
+  }
+  if (IsDead(from) || IsDead(to)) {
+    return Status::NodeDead("transfer endpoint dead");
+  }
+  num_transfers_.fetch_add(1, std::memory_order_relaxed);
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+
+  int64_t wire_us = EstimateTransferMicros(bytes, streams) - config_.latency_us;
+  int64_t done;
+  if (bytes <= kSmallTransferBytes) {
+    // Control-sized messages interleave with bulk streams packet-by-packet;
+    // they do not queue behind megabytes of in-flight data, so they skip the
+    // NIC reservation and pay only propagation + their own serialization.
+    done = NowMicros() + wire_us + config_.latency_us;
+  } else {
+    int64_t now = NowMicros();
+    // Serialization occupies both NICs; reserve the later of the two.
+    int64_t done_tx = ReserveNic(from, now, wire_us);
+    int64_t done_rx = ReserveNic(to, now, wire_us);
+    done = std::max(done_tx, done_rx) + config_.latency_us;
+  }
+  if (config_.charge_real_time) {
+    PreciseDelayMicros(done - NowMicros());
+  }
+  // A transfer can be interrupted by the receiver dying mid-flight.
+  if (IsDead(to)) {
+    return Status::NodeDead("receiver died during transfer");
+  }
+  return Status::Ok();
+}
+
+Status SimNetwork::ControlRpc(const NodeId& from, const NodeId& to) {
+  if (IsDead(from) || IsDead(to)) {
+    return Status::NodeDead("rpc endpoint dead");
+  }
+  if (from != to && config_.charge_real_time) {
+    PreciseDelayMicros(config_.control_latency_us);
+  }
+  return Status::Ok();
+}
+
+Status SimNetwork::SchedulerHop(const NodeId& from, const NodeId& to) {
+  RAY_RETURN_NOT_OK(ControlRpc(from, to));
+  int64_t extra = extra_scheduler_latency_us_.load(std::memory_order_relaxed);
+  if (extra > 0 && config_.charge_real_time) {
+    PreciseDelayMicros(extra);
+  }
+  return Status::Ok();
+}
+
+void SimNetwork::SetNodeDead(const NodeId& node, bool dead) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead) {
+    dead_.insert(node);
+  } else {
+    dead_.erase(node);
+  }
+}
+
+bool SimNetwork::IsDead(const NodeId& node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_.count(node) > 0;
+}
+
+}  // namespace ray

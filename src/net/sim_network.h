@@ -1,0 +1,91 @@
+// Simulated cluster interconnect. Every cross-node byte in the system flows
+// through this layer, which charges one-way propagation latency plus
+// serialization time at a configurable bandwidth. Two modeling choices carry
+// the paper's results:
+//   1. Per-stream bandwidth cap: a single TCP stream cannot saturate the
+//      25Gbps link; Ray stripes large objects over several streams (Section
+//      4.2.4), while the MPI baseline sends on one thread (Section 5.1,
+//      Fig. 12a). Transfers declare their stream count and get
+//      min(streams * per_stream, link) bandwidth.
+//   2. NIC serialization: concurrent transfers sharing a NIC queue behind
+//      each other via a virtual-time reservation, so aggregate bandwidth is
+//      conserved under contention.
+// The extra_scheduler_latency knob reproduces the Fig. 12b ablation.
+#ifndef RAY_NET_SIM_NETWORK_H_
+#define RAY_NET_SIM_NETWORK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/id.h"
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace ray {
+
+struct NetConfig {
+  int64_t latency_us = 100;                       // one-way propagation delay
+  double link_bandwidth_bytes_s = 3.125e9;        // 25 Gbps NIC
+  double per_stream_bandwidth_bytes_s = 1.3e9;    // single TCP stream ceiling
+  int64_t control_latency_us = 30;                // control-plane RPC cost
+  int64_t extra_scheduler_latency_us = 0;         // Fig. 12b ablation
+  bool charge_real_time = true;                   // false: account, don't sleep
+};
+
+class SimNetwork {
+ public:
+  // Transfers at or below this size bypass NIC queueing (control traffic).
+  static constexpr uint64_t kSmallTransferBytes = 64 * 1024;
+
+  explicit SimNetwork(const NetConfig& config) : config_(config) {}
+
+  // Blocks the caller for the duration of a data transfer of `bytes` from
+  // `from` to `to`, striped over `streams` connections. Local transfers are
+  // free. Fails if either endpoint is dead.
+  Status Transfer(const NodeId& from, const NodeId& to, uint64_t bytes, int streams);
+
+  // Blocks for a control-plane round trip (task forward, GCS notification...).
+  Status ControlRpc(const NodeId& from, const NodeId& to);
+
+  // Blocks for scheduler-decision latency: control RPC plus the injected
+  // ablation latency. Used on the path driver -> local -> global scheduler.
+  Status SchedulerHop(const NodeId& from, const NodeId& to);
+
+  int64_t EstimateTransferMicros(uint64_t bytes, int streams) const;
+
+  void SetNodeDead(const NodeId& node, bool dead);
+  bool IsDead(const NodeId& node) const;
+
+  void SetExtraSchedulerLatencyMicros(int64_t us) {
+    extra_scheduler_latency_us_.store(us, std::memory_order_relaxed);
+  }
+  int64_t ExtraSchedulerLatencyMicros() const {
+    return extra_scheduler_latency_us_.load(std::memory_order_relaxed);
+  }
+
+  const NetConfig& config() const { return config_; }
+
+  uint64_t TotalBytesTransferred() const { return total_bytes_.load(std::memory_order_relaxed); }
+  uint64_t NumTransfers() const { return num_transfers_.load(std::memory_order_relaxed); }
+
+ private:
+  // Reserves `duration_us` of NIC time on `node` starting no earlier than
+  // `now_us`; returns the finish time of the reservation.
+  int64_t ReserveNic(const NodeId& node, int64_t now_us, int64_t duration_us);
+
+  NetConfig config_;
+  std::atomic<int64_t> extra_scheduler_latency_us_{0};
+  std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<uint64_t> num_transfers_{0};
+
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, int64_t> nic_free_at_us_;
+  std::unordered_set<NodeId> dead_;
+};
+
+}  // namespace ray
+
+#endif  // RAY_NET_SIM_NETWORK_H_

@@ -1,0 +1,251 @@
+#include "objectstore/object_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/sync.h"
+
+namespace ray {
+
+void ParallelCopy(uint8_t* dst, const uint8_t* src, size_t size, int threads, ThreadPool& pool) {
+  threads = std::max(1, threads);
+  if (threads == 1 || size < 64 * 1024) {
+    std::memcpy(dst, src, size);
+    return;
+  }
+  size_t chunk = (size + threads - 1) / threads;
+  CountDownLatch latch(threads);
+  for (int i = 0; i < threads; ++i) {
+    size_t off = static_cast<size_t>(i) * chunk;
+    size_t len = off >= size ? 0 : std::min(chunk, size - off);
+    pool.Submit([&, off, len] {
+      if (len > 0) {
+        std::memcpy(dst + off, src + off, len);
+      }
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+}
+
+ObjectStore::ObjectStore(const NodeId& node, gcs::GcsTables* tables, SimNetwork* net,
+                         const ObjectStoreConfig& config)
+    : node_(node),
+      tables_(tables),
+      net_(net),
+      config_(config),
+      copy_pool_(static_cast<size_t>(std::max(1, config.num_transfer_threads))) {}
+
+ObjectStore::~ObjectStore() { copy_pool_.Shutdown(); }
+
+void ObjectStore::TouchLocked(const ObjectId& id, Slot& slot) {
+  lru_.erase(slot.lru_it);
+  lru_.push_front(id);
+  slot.lru_it = lru_.begin();
+}
+
+void ObjectStore::EvictLocked(size_t target) {
+  while (used_bytes_ > target && !lru_.empty()) {
+    ObjectId victim = lru_.back();
+    auto it = objects_.find(victim);
+    RAY_CHECK(it != objects_.end());
+    if (!it->second.on_disk) {
+      it->second.on_disk = true;
+      used_bytes_ -= it->second.buffer->Size();
+    }
+    lru_.pop_back();
+    // Disk-tier objects leave the LRU list; re-touch on promotion re-adds.
+    it->second.lru_it = lru_.end();
+  }
+}
+
+Status ObjectStore::Put(const ObjectId& id, BufferPtr buffer) {
+  RAY_CHECK(buffer != nullptr);
+  size_t size = buffer->Size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = objects_.find(id);
+    if (it != objects_.end()) {
+      // Objects are immutable: re-putting the same id is a no-op (idempotent
+      // re-execution after failures produces identical values).
+      return Status::Ok();
+    }
+    if (used_bytes_ + size > config_.capacity_bytes) {
+      EvictLocked(config_.capacity_bytes > size ? config_.capacity_bytes - size : 0);
+    }
+    lru_.push_front(id);
+    objects_.emplace(id, Slot{std::move(buffer), false, lru_.begin()});
+    used_bytes_ += size;
+    bytes_written_.Add(size);
+    objects_written_.Add(1);
+  }
+  arrival_cv_.notify_all();
+  // Publish the new copy (Fig. 7b step 4). Size recorded for the scheduler's
+  // transfer-time estimates.
+  return tables_->objects.AddLocation(id, node_, size);
+}
+
+Result<BufferPtr> ObjectStore::GetLocal(const ObjectId& id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::KeyNotFound("object not in local store");
+  }
+  if (it->second.on_disk) {
+    // Promote from the disk tier, charging the read penalty.
+    size_t size = it->second.buffer->Size();
+    lock.unlock();
+    PreciseDelayMicros(static_cast<int64_t>(static_cast<double>(size) / config_.disk_read_bytes_per_sec * 1e6));
+    lock.lock();
+    it = objects_.find(id);
+    if (it == objects_.end()) {
+      return Status::KeyNotFound("object evicted during disk read");
+    }
+    if (it->second.on_disk) {
+      it->second.on_disk = false;
+      used_bytes_ += size;
+      lru_.push_front(id);
+      it->second.lru_it = lru_.begin();
+      EvictLocked(config_.capacity_bytes);
+    }
+  } else {
+    TouchLocked(id, it->second);
+  }
+  return it->second.buffer;
+}
+
+bool ObjectStore::ContainsLocal(const ObjectId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.count(id) > 0;
+}
+
+Status ObjectStore::PullFrom(const ObjectId& id, ObjectStore& src) {
+  BufferPtr remote;
+  {
+    auto r = src.GetLocal(id);
+    if (!r.ok()) {
+      return r.status();
+    }
+    remote = *r;
+  }
+  size_t size = remote->Size();
+  int streams = size >= config_.parallel_copy_threshold ? config_.num_transfer_threads : 1;
+  RAY_RETURN_NOT_OK(net_->Transfer(src.node(), node_, size, streams));
+  // Physically copy the bytes (replication, not aliasing, across nodes).
+  auto local = std::make_shared<Buffer>(size);
+  ParallelCopy(local->MutableData(), remote->Data(), size, streams, copy_pool_);
+  return Put(id, std::move(local));
+}
+
+Status ObjectStore::Fetch(const ObjectId& id, const NodeId& src_node) {
+  if (ContainsLocal(id)) {
+    return Status::Ok();
+  }
+  if (src_node == node_) {
+    return Status::KeyNotFound("fetch source is self but object absent");
+  }
+  ObjectStore* src = peer_resolver_ ? peer_resolver_(src_node) : nullptr;
+  if (src == nullptr || net_->IsDead(src_node)) {
+    return Status::NodeDead("fetch source dead");
+  }
+  return PullFrom(id, *src);
+}
+
+Result<BufferPtr> ObjectStore::Get(const ObjectId& id, int64_t timeout_us) {
+  int64_t deadline = timeout_us < 0 ? -1 : NowMicros() + timeout_us;
+  for (;;) {
+    if (deadline >= 0 && NowMicros() >= deadline) {
+      return Status::TimedOut("object did not become available");
+    }
+    if (auto local = GetLocal(id); local.ok()) {
+      return local;
+    }
+    // Look up replica locations in the GCS (Fig. 7a step 6).
+    auto entry = tables_->objects.GetLocations(id);
+    bool fetched = false;
+    if (entry.ok()) {
+      for (const NodeId& src : entry->locations) {
+        if (src == node_ || net_->IsDead(src)) {
+          continue;
+        }
+        if (Fetch(id, src).ok()) {
+          fetched = true;
+          break;
+        }
+      }
+    }
+    if (fetched) {
+      continue;  // now local
+    }
+    // Not created yet (or all copies unreachable): block on the pub-sub
+    // callback that fires when a location is added (Fig. 7b step 2).
+    Notification arrival;
+    uint64_t token = tables_->objects.SubscribeLocations(
+        id, [&arrival](const ObjectId&, const NodeId&) { arrival.Notify(); });
+    // Re-check: a *live* location may have been added between the lookup and
+    // the subscribe. Dead replicas do not count — treating them as available
+    // would spin here forever instead of waiting for reconstruction.
+    entry = tables_->objects.GetLocations(id);
+    bool available_now = false;
+    if (entry.ok()) {
+      for (const NodeId& src : entry->locations) {
+        if (src != node_ && !net_->IsDead(src)) {
+          available_now = true;  // a live remote replica: retry the fetch
+          break;
+        }
+      }
+    }
+    bool notified = available_now;
+    if (!notified) {
+      if (deadline < 0) {
+        arrival.Wait();
+        notified = true;
+      } else {
+        int64_t remaining = deadline - NowMicros();
+        notified = remaining > 0 &&
+                   arrival.WaitFor(std::chrono::milliseconds(std::max<int64_t>(1, remaining / 1000)));
+      }
+    }
+    tables_->objects.UnsubscribeLocations(id, token);
+    if (!notified) {
+      return Status::TimedOut("object did not become available");
+    }
+  }
+}
+
+Status ObjectStore::DeleteLocal(const ObjectId& id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = objects_.find(id);
+    if (it == objects_.end()) {
+      return Status::KeyNotFound("object not local");
+    }
+    if (!it->second.on_disk) {
+      used_bytes_ -= it->second.buffer->Size();
+      lru_.erase(it->second.lru_it);
+    }
+    objects_.erase(it);
+  }
+  return tables_->objects.RemoveLocation(id, node_);
+}
+
+void ObjectStore::CrashClear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_.clear();
+  lru_.clear();
+  used_bytes_ = 0;
+}
+
+size_t ObjectStore::UsedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_bytes_;
+}
+
+size_t ObjectStore::NumObjects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+}  // namespace ray

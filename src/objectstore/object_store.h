@@ -1,0 +1,127 @@
+// Per-node in-memory object store (Section 4.2.3). Objects are immutable
+// byte buffers; intra-node reads are zero-copy (shared_ptr aliasing plays the
+// role of shared memory). If a requested object is remote, the store looks up
+// its locations in the GCS Object Table, pulls a replica over the simulated
+// network (striping large objects across several transfer threads, Section
+// 4.2.4), and registers the new copy back in the Object Table. If the object
+// does not exist yet, the store registers a GCS pub-sub callback and blocks
+// until a location is published (Fig. 7b). Memory pressure is handled by LRU
+// eviction to a simulated disk tier.
+#ifndef RAY_OBJECTSTORE_OBJECT_STORE_H_
+#define RAY_OBJECTSTORE_OBJECT_STORE_H_
+
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/buffer.h"
+#include "common/id.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "gcs/tables.h"
+#include "net/sim_network.h"
+
+namespace ray {
+
+struct ObjectStoreConfig {
+  size_t capacity_bytes = 4ULL << 30;
+  int num_transfer_threads = 8;
+  // Objects at or above this size are copied by multiple transfer threads.
+  size_t parallel_copy_threshold = 512 * 1024;
+  // Penalty bandwidth for reading an object back from the disk tier.
+  double disk_read_bytes_per_sec = 500e6;
+};
+
+class ObjectStore {
+ public:
+  // `peer_resolver` maps a node id to its store so a pull can read the remote
+  // buffer; the cluster wires this up. May return nullptr for dead nodes.
+  using PeerResolver = std::function<ObjectStore*(const NodeId&)>;
+
+  ObjectStore(const NodeId& node, gcs::GcsTables* tables, SimNetwork* net,
+              const ObjectStoreConfig& config);
+  ~ObjectStore();
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  void SetPeerResolver(PeerResolver resolver) { peer_resolver_ = std::move(resolver); }
+
+  // Seals `buffer` under `id` locally and publishes the location to the GCS.
+  Status Put(const ObjectId& id, BufferPtr buffer);
+
+  // Local-only lookup; promotes a disk-tier object back to memory (charging
+  // the disk read penalty). KeyNotFound if absent on this node.
+  Result<BufferPtr> GetLocal(const ObjectId& id);
+
+  bool ContainsLocal(const ObjectId& id) const;
+
+  // Full get: local hit, else pull from a live remote replica, else block on
+  // the Object Table callback until the object is created somewhere, then
+  // pull. timeout_us < 0 means wait forever. Returns kTimedOut on timeout;
+  // never returns kObjectLost by itself — loss detection (all replicas on
+  // dead nodes) is the runtime's job since it owns reconstruction.
+  Result<BufferPtr> Get(const ObjectId& id, int64_t timeout_us = -1);
+
+  // Pulls `id` from `src_node` right now; used by the scheduler's dispatch
+  // path once locations are known.
+  Status Fetch(const ObjectId& id, const NodeId& src_node);
+
+  // Drops the local copy (memory and disk tier) and retracts the location.
+  Status DeleteLocal(const ObjectId& id);
+
+  // Drops everything without touching the GCS — models node death, where the
+  // store's contents vanish but stale Object Table entries linger until the
+  // runtime marks the node dead.
+  void CrashClear();
+
+  size_t UsedBytes() const;
+  size_t NumObjects() const;
+  const NodeId& node() const { return node_; }
+
+  // Stats for benches.
+  Counter& bytes_written() { return bytes_written_; }
+  Counter& objects_written() { return objects_written_; }
+
+ private:
+  struct Slot {
+    BufferPtr buffer;
+    bool on_disk = false;
+    std::list<ObjectId>::iterator lru_it;
+  };
+
+  // Must hold mu_. Evicts LRU objects to the disk tier until used memory is
+  // at most `target`.
+  void EvictLocked(size_t target);
+  void TouchLocked(const ObjectId& id, Slot& slot);
+  Status PullFrom(const ObjectId& id, ObjectStore& src);
+
+  NodeId node_;
+  gcs::GcsTables* tables_;
+  SimNetwork* net_;
+  ObjectStoreConfig config_;
+  PeerResolver peer_resolver_;
+
+  mutable std::mutex mu_;
+  std::condition_variable arrival_cv_;
+  std::unordered_map<ObjectId, Slot> objects_;
+  std::list<ObjectId> lru_;  // front = most recent
+  size_t used_bytes_ = 0;
+
+  ThreadPool copy_pool_;
+
+  Counter bytes_written_;
+  Counter objects_written_;
+};
+
+// Copies `size` bytes from src to dst using up to `threads` pool workers in
+// parallel chunks. Exposed for the Fig. 9 thread-sweep bench.
+void ParallelCopy(uint8_t* dst, const uint8_t* src, size_t size, int threads, ThreadPool& pool);
+
+}  // namespace ray
+
+#endif  // RAY_OBJECTSTORE_OBJECT_STORE_H_

@@ -1,0 +1,138 @@
+#include "raylib/a3c.h"
+
+#include <cmath>
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "raylib/env.h"
+
+namespace ray {
+namespace raylib {
+
+int A3cParams::Init(int dim, float lr, uint64_t seed) {
+  Rng rng(seed);
+  params_ = rng.NormalVector(dim, 0.0, 0.05);
+  lr_ = lr;
+  updates_ = 0;
+  reward_ema_ = 0.0f;
+  has_reward_ = false;
+  return dim;
+}
+
+int A3cParams::PushGradient(std::vector<float> grad) {
+  RAY_CHECK(grad.size() == params_.size());
+  // Normalized asynchronous step: direction matters long before magnitude.
+  double norm = 1e-8;
+  for (float g : grad) {
+    norm += static_cast<double>(g) * g;
+  }
+  float scale = lr_ / static_cast<float>(std::sqrt(norm));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    params_[i] += scale * grad[i];
+  }
+  return ++updates_;
+}
+
+int A3cParams::ObserveReward(float r) {
+  if (!has_reward_) {
+    reward_ema_ = r;
+    has_reward_ = true;
+  } else {
+    reward_ema_ = 0.9f * reward_ema_ + 0.1f * r;
+  }
+  return updates_;
+}
+
+A3cStepResult A3cWorkerStep(std::vector<float> params, uint64_t seed, float sigma,
+                            std::string env_name, int max_steps, float reward_baseline) {
+  Rng rng(seed);
+  std::vector<float> eps = rng.NormalVector(params.size());
+  std::vector<float> noisy = params;
+  for (size_t i = 0; i < params.size(); ++i) {
+    noisy[i] += sigma * eps[i];
+  }
+  auto env = envs::MakeEnv(env_name);
+  int steps = 0;
+  float total = envs::RolloutLinearPolicy(*env, noisy, seed, max_steps, &steps);
+  A3cStepResult result;
+  result.steps = steps;
+  result.mean_step_reward = total / static_cast<float>(std::max(1, steps));
+  float advantage = result.mean_step_reward - reward_baseline;
+  result.grad = std::move(eps);
+  for (float& g : result.grad) {
+    g *= advantage;
+  }
+  return result;
+}
+
+void RegisterA3cSupport(Cluster& cluster) {
+  cluster.RegisterFunction("a3c_worker_step", &A3cWorkerStep);
+  cluster.RegisterActorClass<A3cParams>("A3cParams");
+  cluster.RegisterActorMethod("A3cParams", "Init", &A3cParams::Init);
+  cluster.RegisterActorMethod("A3cParams", "Get", &A3cParams::Get, /*read_only=*/true);
+  cluster.RegisterActorMethod("A3cParams", "PushGradient", &A3cParams::PushGradient);
+  cluster.RegisterActorMethod("A3cParams", "ObserveReward", &A3cParams::ObserveReward);
+  cluster.RegisterActorMethod("A3cParams", "UpdatesApplied", &A3cParams::UpdatesApplied,
+                              /*read_only=*/true);
+  cluster.RegisterActorMethod("A3cParams", "MeanReward", &A3cParams::MeanReward,
+                              /*read_only=*/true);
+}
+
+Result<A3cReport> RunA3c(Ray ray, const A3cConfig& config) {
+  size_t dim = static_cast<size_t>(config.policy_action_dim) * config.policy_state_dim +
+               config.policy_action_dim;
+  ActorHandle params = ray.CreateActor("A3cParams", config.params_resources);
+  params.Call<int>("Init", static_cast<int>(dim), config.lr, uint64_t{11});
+
+  Timer timer;
+  constexpr int64_t kTimeoutUs = 120'000'000;
+  // Each worker loop is an independent driver thread: pull -> rollout task ->
+  // push, no coordination with the other workers (A3C's defining property).
+  std::vector<std::thread> workers;
+  std::atomic<bool> failed{false};
+  for (int w = 0; w < config.num_workers; ++w) {
+    workers.emplace_back([&, w] {
+      Ray worker_ray = ray;  // handles are cheap copies
+      ActorHandle p = params;
+      uint64_t seed = 1000 + static_cast<uint64_t>(w) * 7919;
+      float baseline = 0.0f;
+      for (int step = 0; step < config.steps_per_worker && !failed.load(); ++step) {
+        auto current = p.Call<std::vector<float>>("Get");
+        auto result = worker_ray.Call<A3cStepResult>("a3c_worker_step", current, seed++,
+                                                     config.sigma, config.env,
+                                                     config.rollout_max_steps, baseline);
+        auto r = worker_ray.Get(result, kTimeoutUs);
+        if (!r.ok()) {
+          failed.store(true);
+          return;
+        }
+        baseline = 0.9f * baseline + 0.1f * r->mean_step_reward;
+        p.Call<int>("PushGradient", worker_ray.Put(r->grad));
+        p.Call<int>("ObserveReward", r->mean_step_reward);
+      }
+    });
+  }
+  for (auto& t : workers) {
+    t.join();
+  }
+  if (failed.load()) {
+    return Status::TimedOut("a3c worker stalled");
+  }
+  A3cReport report;
+  auto final_params = ray.Get(params.Call<std::vector<float>>("Get"), kTimeoutUs);
+  if (!final_params.ok()) {
+    return final_params.status();
+  }
+  report.policy = std::move(*final_params);
+  auto updates = ray.Get(params.Call<int>("UpdatesApplied"), kTimeoutUs);
+  report.updates_applied = updates.ok() ? *updates : 0;
+  auto reward = ray.Get(params.Call<float>("MeanReward"), kTimeoutUs);
+  report.final_mean_reward = reward.ok() ? *reward : 0.0f;
+  report.wall_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace raylib
+}  // namespace ray

@@ -1,0 +1,91 @@
+// A3C-style asynchronous training (Mnih et al. — another Section 7 port).
+// Each worker is an actor that loops independently: pull the latest policy
+// from the central parameter actor, run a rollout with exploration noise,
+// push an advantage-weighted gradient. There are no barriers and no batch
+// quotas — updates apply as they arrive (Hogwild-style), which is exactly
+// the kind of asynchronous, stateful computation the paper's actor model
+// exists for.
+#ifndef RAY_RAYLIB_A3C_H_
+#define RAY_RAYLIB_A3C_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/api.h"
+
+namespace ray {
+namespace raylib {
+
+// Central parameter actor ("A3cParams").
+class A3cParams {
+ public:
+  int Init(int dim, float lr, uint64_t seed);
+  std::vector<float> Get() { return params_; }
+  // Applies one asynchronous gradient (no synchronization with other
+  // pushers; staleness is inherent to A3C).
+  int PushGradient(std::vector<float> grad);
+  int UpdatesApplied() { return updates_; }
+  float MeanReward() { return reward_ema_; }
+  int ObserveReward(float r);
+
+ private:
+  std::vector<float> params_;
+  float lr_ = 0.05f;
+  int updates_ = 0;
+  float reward_ema_ = 0.0f;
+  bool has_reward_ = false;
+};
+
+// One worker step ("a3c_worker_step"): rollout under params + noise(seed),
+// return the advantage-weighted parameter-noise gradient and the episode's
+// normalized reward (folded in by the params actor).
+struct A3cStepResult {
+  std::vector<float> grad;
+  float mean_step_reward = 0.0f;
+  int steps = 0;
+
+  void SerializeTo(Writer& w) const {
+    Put(w, grad);
+    Put(w, mean_step_reward);
+    Put(w, steps);
+  }
+  static A3cStepResult DeserializeFrom(Reader& r) {
+    A3cStepResult s;
+    s.grad = Take<std::vector<float>>(r);
+    s.mean_step_reward = Take<float>(r);
+    s.steps = Take<int>(r);
+    return s;
+  }
+};
+
+A3cStepResult A3cWorkerStep(std::vector<float> params, uint64_t seed, float sigma,
+                            std::string env_name, int max_steps, float reward_baseline);
+
+void RegisterA3cSupport(Cluster& cluster);
+
+struct A3cConfig {
+  std::string env = "humanoid_small";
+  int policy_state_dim = 16;
+  int policy_action_dim = 4;
+  int num_workers = 4;
+  int steps_per_worker = 25;  // asynchronous pull-rollout-push loops each
+  int rollout_max_steps = 60;
+  float sigma = 0.3f;
+  float lr = 0.1f;
+  ResourceSet params_resources = ResourceSet::Cpu(1);
+};
+
+struct A3cReport {
+  std::vector<float> policy;
+  double wall_seconds = 0.0;
+  int updates_applied = 0;
+  float final_mean_reward = 0.0f;
+};
+
+// Runs num_workers fully asynchronous loops; returns the trained policy.
+Result<A3cReport> RunA3c(Ray ray, const A3cConfig& config);
+
+}  // namespace raylib
+}  // namespace ray
+
+#endif  // RAY_RAYLIB_A3C_H_

@@ -1,0 +1,71 @@
+// Ring allreduce implemented purely on the Ray API (Section 5.1, Fig. 12).
+// Each participant is an actor pinned to its own node holding a float
+// buffer; one allreduce is 2*(n-1) rounds of n actor-method calls whose
+// chunk objects flow through the object store (and therefore the simulated
+// network). No system modification is needed — this is the paper's point:
+// the decoupled control plane keeps per-task overhead low enough that a
+// communication primitive can be expressed as ordinary tasks.
+#ifndef RAY_RAYLIB_ALLREDUCE_H_
+#define RAY_RAYLIB_ALLREDUCE_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/api.h"
+
+namespace ray {
+namespace raylib {
+
+// The buffer-holding actor used by RingAllreduce; also reusable by SGD for
+// gradient reduction. Registered as class "VecWorker".
+class VecWorker {
+ public:
+  void SetBuffer(std::vector<float> values) { buffer_ = std::move(values); }
+  // Generates data in place on the worker's node (no transfer), so benches
+  // can exclude input distribution from the timed region.
+  int FillBuffer(int size, float value) {
+    buffer_.assign(static_cast<size_t>(size), value);
+    return size;
+  }
+  std::vector<float> GetBuffer() { return buffer_; }
+
+  // Chunk c of n (contiguous split; last chunk takes the remainder).
+  std::vector<float> GetChunk(int c, int n);
+  int AccumChunk(int c, int n, std::vector<float> chunk);  // buffer[c] += chunk
+  int SetChunk(int c, int n, std::vector<float> chunk);    // buffer[c] = chunk
+
+ private:
+  std::pair<size_t, size_t> ChunkRange(int c, int n) const;
+  std::vector<float> buffer_;
+};
+
+void RegisterAllreduceSupport(Cluster& cluster);
+
+// Issues one ring allreduce (sum) across `workers`; all calls are submitted
+// immediately and the dataflow (actor chains + chunk objects) sequences
+// execution. Returns the futures of the final round; the reduction is
+// complete once they are ready.
+std::vector<ObjectRef<int>> SubmitRingAllreduce(std::vector<ActorHandle>& workers);
+
+// Convenience harness: creates one VecWorker per entry of `placements`
+// (resource demands that pin each worker to a distinct node).
+class RingAllreduce {
+ public:
+  RingAllreduce(Ray ray, const std::vector<ResourceSet>& placements);
+
+  // Loads one input per worker, runs the allreduce, and returns the reduced
+  // vector (fetched from worker 0). Blocking.
+  Result<std::vector<float>> Execute(const std::vector<std::vector<float>>& inputs,
+                                     int64_t timeout_us = 120'000'000);
+
+  std::vector<ActorHandle>& workers() { return workers_; }
+
+ private:
+  Ray ray_;
+  std::vector<ActorHandle> workers_;
+};
+
+}  // namespace raylib
+}  // namespace ray
+
+#endif  // RAY_RAYLIB_ALLREDUCE_H_

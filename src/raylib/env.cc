@@ -1,0 +1,182 @@
+#include "raylib/env.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace ray {
+namespace envs {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kGravity = 10.0;
+constexpr double kMass = 1.0;
+constexpr double kLength = 1.0;
+constexpr double kDt = 0.05;
+constexpr double kMaxSpeed = 8.0;
+constexpr double kMaxTorque = 2.0;
+constexpr int kPendulumEpisodeSteps = 200;
+}  // namespace
+
+std::vector<float> Pendulum::Reset(uint64_t seed) {
+  rng_ = Rng(seed);
+  theta_ = rng_.Uniform(-kPi, kPi);
+  theta_dot_ = rng_.Uniform(-1.0, 1.0);
+  steps_ = 0;
+  episode_len_ = random_episode_len_ ? static_cast<int>(rng_.UniformInt(200, 2000))
+                                     : kPendulumEpisodeSteps;
+  return Observe();
+}
+
+std::vector<float> Pendulum::Observe() const {
+  return {static_cast<float>(std::cos(theta_)), static_cast<float>(std::sin(theta_)),
+          static_cast<float>(theta_dot_)};
+}
+
+std::vector<float> Pendulum::Step(const std::vector<float>& action, float* reward, bool* done) {
+  double u = std::clamp(static_cast<double>(action.empty() ? 0.0f : action[0]), -kMaxTorque, kMaxTorque);
+  // Normalize angle into [-pi, pi] for the cost.
+  double angle = std::fmod(theta_ + kPi, 2 * kPi);
+  if (angle < 0) {
+    angle += 2 * kPi;
+  }
+  angle -= kPi;
+  double cost = angle * angle + 0.1 * theta_dot_ * theta_dot_ + 0.001 * u * u;
+
+  double theta_acc = -3.0 * kGravity / (2.0 * kLength) * std::sin(theta_ + kPi) +
+                     3.0 / (kMass * kLength * kLength) * u;
+  theta_dot_ = std::clamp(theta_dot_ + theta_acc * kDt, -kMaxSpeed, kMaxSpeed);
+  theta_ += theta_dot_ * kDt;
+  ++steps_;
+
+  *reward = static_cast<float>(-cost);
+  *done = steps_ >= episode_len_;
+  if (step_sleep_us_ > 0) {
+    // Batch the simulated step duration into >= 1ms sleeps so thousands of
+    // tiny wakeups do not saturate a small host; total duration is unchanged.
+    sleep_debt_us_ += step_sleep_us_;
+    if (sleep_debt_us_ >= 1000 || *done) {
+      SleepMicros(sleep_debt_us_);
+      sleep_debt_us_ = 0;
+    }
+  }
+  return Observe();
+}
+
+Humanoid::Humanoid(int state_dim, int action_dim, int step_work, int64_t step_sleep_us)
+    : state_dim_(state_dim), action_dim_(action_dim), step_work_(step_work),
+      step_sleep_us_(step_sleep_us) {}
+
+std::vector<float> Humanoid::Reset(uint64_t seed) {
+  rng_ = Rng(seed);
+  state_ = rng_.NormalVector(state_dim_, 0.0, 1.0);
+  // The hidden target is fixed per environment family (seed-independent), so
+  // learning transfers across rollouts.
+  Rng target_rng(7);
+  target_ = target_rng.NormalVector(action_dim_, 0.0, 1.0);
+  float norm = 0;
+  for (float t : target_) {
+    norm += t * t;
+  }
+  norm = std::sqrt(norm);
+  for (float& t : target_) {
+    t /= norm;
+  }
+  steps_ = 0;
+  return state_;
+}
+
+std::vector<float> Humanoid::Step(const std::vector<float>& action, float* reward, bool* done) {
+  RAY_CHECK(static_cast<int>(action.size()) == action_dim_);
+  // Burn per-step compute like a physics engine: iterative state mixing.
+  volatile float sink = 0.0f;
+  for (int w = 0; w < step_work_; ++w) {
+    float acc = 0.0f;
+    for (int i = 0; i < state_dim_; ++i) {
+      acc += state_[i] * state_[(i + w) % state_dim_];
+    }
+    sink = sink + acc;
+  }
+  (void)sink;
+
+  // Reward: cosine alignment of the action with the hidden target.
+  float dot = 0.0f;
+  float norm = 1e-6f;
+  for (int i = 0; i < action_dim_; ++i) {
+    dot += action[i] * target_[i];
+    norm += action[i] * action[i];
+  }
+  *reward = dot / std::sqrt(norm);
+
+  // Drift the state; episodes have variable length (10..1000 steps like the
+  // paper's rollouts) decided by a state-dependent termination draw.
+  for (int i = 0; i < state_dim_; ++i) {
+    state_[i] = 0.99f * state_[i] + static_cast<float>(rng_.Normal(0.0, 0.05));
+  }
+  ++steps_;
+  *done = steps_ >= 1000 || (steps_ >= 10 && rng_.Uniform() < 0.01);
+  if (step_sleep_us_ > 0) {
+    sleep_debt_us_ += step_sleep_us_;
+    if (sleep_debt_us_ >= 1000 || *done) {
+      SleepMicros(sleep_debt_us_);
+      sleep_debt_us_ = 0;
+    }
+  }
+  return state_;
+}
+
+std::unique_ptr<Env> MakeEnv(const std::string& name) {
+  if (name == "pendulum") {
+    return std::make_unique<Pendulum>();
+  }
+  if (name == "humanoid") {
+    return std::make_unique<Humanoid>();
+  }
+  if (name == "humanoid_small") {
+    return std::make_unique<Humanoid>(16, 4, 50);
+  }
+  if (name == "pendulum_sim") {
+    return std::make_unique<Pendulum>(/*step_sleep_us=*/20, /*random_episode_len=*/true);
+  }
+  if (name == "humanoid_sim") {
+    return std::make_unique<Humanoid>(16, 4, 0, /*step_sleep_us=*/50);
+  }
+  RAY_LOG(FATAL) << "unknown environment: " << name;
+  return nullptr;
+}
+
+float RolloutLinearPolicy(Env& env, const std::vector<float>& policy_params, uint64_t seed,
+                          int max_steps, int* steps_out) {
+  int sd = env.StateDim();
+  int ad = env.ActionDim();
+  RAY_CHECK(policy_params.size() == static_cast<size_t>(ad) * sd + ad)
+      << "policy must be [action x state] + bias";
+  std::vector<float> state = env.Reset(seed);
+  float total = 0.0f;
+  int steps = 0;
+  bool done = false;
+  std::vector<float> action(ad);
+  while (!done && steps < max_steps) {
+    for (int a = 0; a < ad; ++a) {
+      float sum = policy_params[static_cast<size_t>(ad) * sd + a];  // bias
+      const float* w = &policy_params[static_cast<size_t>(a) * sd];
+      for (int s = 0; s < sd; ++s) {
+        sum += w[s] * state[s];
+      }
+      action[a] = std::tanh(sum) * 2.0f;  // pendulum torque range
+    }
+    float reward = 0.0f;
+    state = env.Step(action, &reward, &done);
+    total += reward;
+    ++steps;
+  }
+  if (steps_out != nullptr) {
+    *steps_out = steps;
+  }
+  return total;
+}
+
+}  // namespace envs
+}  // namespace ray

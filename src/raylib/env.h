@@ -1,0 +1,105 @@
+// Simulation environments (paper substitutions for OpenAI Gym / MuJoCo).
+// Pendulum is a faithful from-scratch Pendulum-v0 (Table 4); Humanoid is a
+// synthetic stand-in with a MuJoCo-like per-step compute cost and a reward
+// that improves with policy quality (Fig. 14 measures time-to-score scaling,
+// not RL sample efficiency).
+#ifndef RAY_RAYLIB_ENV_H_
+#define RAY_RAYLIB_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ray {
+namespace envs {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual int StateDim() const = 0;
+  virtual int ActionDim() const = 0;
+  // Resets to a randomized initial state.
+  virtual std::vector<float> Reset(uint64_t seed) = 0;
+  // Advances one timestep. Returns the new state; `reward` and `done` report
+  // the transition outcome.
+  virtual std::vector<float> Step(const std::vector<float>& action, float* reward, bool* done) = 0;
+};
+
+// Classic control pendulum: swing up and balance. Matches Pendulum-v0
+// dynamics: theta'' = -3g/(2l) sin(theta+pi) + 3/(ml^2) u, dt=0.05,
+// reward = -(theta^2 + 0.1 theta'^2 + 0.001 u^2), 200-step episodes.
+class Pendulum : public Env {
+ public:
+  // `step_sleep_us` simulates per-step duration; `random_episode_len` draws
+  // episode lengths uniformly in [200, 2000] instead of the fixed 200 (models
+  // the variable-length rollouts of Table 4).
+  explicit Pendulum(int64_t step_sleep_us = 0, bool random_episode_len = false)
+      : rng_(0), step_sleep_us_(step_sleep_us), random_episode_len_(random_episode_len) {}
+
+  int StateDim() const override { return 3; }  // cos, sin, thetadot
+  int ActionDim() const override { return 1; }
+  std::vector<float> Reset(uint64_t seed) override;
+  std::vector<float> Step(const std::vector<float>& action, float* reward, bool* done) override;
+
+ private:
+  std::vector<float> Observe() const;
+
+  Rng rng_;
+  int64_t step_sleep_us_ = 0;
+  int64_t sleep_debt_us_ = 0;  // batched to >= 1ms: fewer wakeups, same time
+  bool random_episode_len_ = false;
+  int episode_len_ = 200;
+  double theta_ = 0.0;
+  double theta_dot_ = 0.0;
+  int steps_ = 0;
+};
+
+// Synthetic heavy simulator: per-step cost emulates a physics engine
+// (configurable inner work), reward rises with the alignment between the
+// policy-produced action and a hidden target direction, so "score 6000"
+// (Fig. 14) is reachable by policy improvement.
+class Humanoid : public Env {
+ public:
+  // `step_work` controls per-step compute (inner-product iterations);
+  // `step_sleep_us` adds simulated per-step duration — used by benches on
+  // machines without enough physical cores to overlap real compute.
+  explicit Humanoid(int state_dim = 64, int action_dim = 16, int step_work = 200,
+                    int64_t step_sleep_us = 0);
+
+  int StateDim() const override { return state_dim_; }
+  int ActionDim() const override { return action_dim_; }
+  std::vector<float> Reset(uint64_t seed) override;
+  std::vector<float> Step(const std::vector<float>& action, float* reward, bool* done) override;
+
+ private:
+  int state_dim_;
+  int action_dim_;
+  int step_work_;
+  int64_t step_sleep_us_;
+  int64_t sleep_debt_us_ = 0;
+  Rng rng_{0};
+  std::vector<float> state_;
+  std::vector<float> target_;  // hidden direction a good policy discovers
+  int steps_ = 0;
+};
+
+// Factory keyed by name, so workers can construct environments from task
+// arguments. Names: "pendulum", "humanoid", "humanoid_small" (real compute),
+// and "pendulum_sim", "humanoid_sim" (sleep-based step durations + variable
+// episode lengths, for scaling benches on small machines).
+std::unique_ptr<Env> MakeEnv(const std::string& name);
+
+// Runs a full rollout of `env` under a linear-in-parameters policy given by
+// `policy_params` interpreted as an [action x state] matrix (+ bias). Returns
+// total reward; writes the number of simulated steps to `steps_out`.
+float RolloutLinearPolicy(Env& env, const std::vector<float>& policy_params, uint64_t seed,
+                          int max_steps, int* steps_out);
+
+}  // namespace envs
+}  // namespace ray
+
+#endif  // RAY_RAYLIB_ENV_H_

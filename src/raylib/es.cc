@@ -1,0 +1,207 @@
+#include "raylib/es.h"
+
+#include <cmath>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "raylib/env.h"
+
+namespace ray {
+namespace raylib {
+
+namespace {
+
+std::vector<float> PerturbationFromSeed(uint64_t seed, size_t dim) {
+  Rng rng(seed);
+  return rng.NormalVector(dim);
+}
+
+}  // namespace
+
+EsResult EsEvaluate(std::vector<float> policy, uint64_t seed, float sigma, std::string env_name,
+                    int max_steps) {
+  std::vector<float> eps = PerturbationFromSeed(seed, policy.size());
+  auto env = envs::MakeEnv(env_name);
+  EsResult result;
+  result.seed = seed;
+
+  std::vector<float> perturbed = policy;
+  for (size_t i = 0; i < policy.size(); ++i) {
+    perturbed[i] += sigma * eps[i];
+  }
+  // Fitness is normalized to mean per-step reward: episode lengths vary
+  // (stochastic termination), and without normalization the antithetic
+  // difference is dominated by length noise rather than policy quality.
+  int steps_pos = 0;
+  float total_pos = envs::RolloutLinearPolicy(*env, perturbed, seed, max_steps, &steps_pos);
+  result.fitness_pos = total_pos / static_cast<float>(std::max(1, steps_pos));
+
+  for (size_t i = 0; i < policy.size(); ++i) {
+    perturbed[i] = policy[i] - sigma * eps[i];
+  }
+  // Common random numbers: the negative rollout reuses the same env seed so
+  // the antithetic difference isolates the perturbation's effect.
+  int steps_neg = 0;
+  float total_neg = envs::RolloutLinearPolicy(*env, perturbed, seed, max_steps, &steps_neg);
+  result.fitness_neg = total_neg / static_cast<float>(std::max(1, steps_neg));
+  result.steps = steps_pos + steps_neg;
+  return result;
+}
+
+std::vector<float> EsEvaluateFull(std::vector<float> policy, uint64_t seed, float sigma,
+                                  std::string env_name, int max_steps, int pad_to_floats) {
+  EsResult r = EsEvaluate(policy, seed, sigma, env_name, max_steps);
+  std::vector<float> eps = PerturbationFromSeed(seed, policy.size());
+  float w = (r.fitness_pos - r.fitness_neg) / (2.0f * sigma);
+  for (float& e : eps) {
+    e *= w;
+  }
+  if (pad_to_floats > static_cast<int>(eps.size())) {
+    eps.resize(static_cast<size_t>(pad_to_floats), 0.0f);
+  }
+  return eps;
+}
+
+int EsAggregator::Init(int param_dim, float sigma) {
+  param_dim_ = param_dim;
+  sigma_ = sigma;
+  folded_ = 0;
+  accum_.assign(param_dim, 0.0f);
+  return param_dim;
+}
+
+int EsAggregator::Add(EsResult result) {
+  std::vector<float> eps = PerturbationFromSeed(result.seed, accum_.size());
+  // Antithetic estimator contribution: (f+ - f-) / (2 sigma) * eps.
+  float w = (result.fitness_pos - result.fitness_neg) / (2.0f * sigma_);
+  for (size_t i = 0; i < accum_.size(); ++i) {
+    accum_[i] += w * eps[i];
+  }
+  return ++folded_;
+}
+
+std::vector<float> EsAggregator::Drain() {
+  std::vector<float> out = std::move(accum_);
+  accum_.assign(param_dim_, 0.0f);
+  folded_ = 0;
+  return out;
+}
+
+void RegisterEsSupport(Cluster& cluster) {
+  cluster.RegisterFunction("es_evaluate", &EsEvaluate);
+  cluster.RegisterFunction("es_evaluate_full", &EsEvaluateFull);
+  cluster.RegisterActorClass<EsAggregator>("EsAggregator");
+  cluster.RegisterActorMethod("EsAggregator", "Init", &EsAggregator::Init);
+  cluster.RegisterActorMethod("EsAggregator", "Add", &EsAggregator::Add);
+  cluster.RegisterActorMethod("EsAggregator", "Drain", &EsAggregator::Drain);
+  cluster.RegisterActorMethod("EsAggregator", "NumFolded", &EsAggregator::NumFolded);
+}
+
+EvolutionStrategies::EvolutionStrategies(Ray ray, const EsConfig& config)
+    : ray_(ray), config_(config) {
+  size_t dim =
+      static_cast<size_t>(config_.policy_action_dim) * config_.policy_state_dim + config_.policy_action_dim;
+  Rng rng(11);
+  policy_ = rng.NormalVector(dim, 0.0, 0.05);
+  if (config_.tree_aggregation) {
+    for (int i = 0; i < config_.num_aggregators; ++i) {
+      ResourceSet demand = i < static_cast<int>(config_.aggregator_placements.size())
+                               ? config_.aggregator_placements[i]
+                               : ResourceSet::Cpu(1);
+      aggregators_.push_back(ray_.CreateActor("EsAggregator", demand));
+      aggregators_.back().Call<int>("Init", static_cast<int>(dim), config_.sigma);
+    }
+  }
+}
+
+Result<std::vector<float>> EvolutionStrategies::AggregateTree(
+    const std::vector<ObjectRef<EsResult>>& results, int64_t timeout_us) {
+  // Results stream to aggregator actors round-robin; each Add moves only a
+  // tiny record, and perturbation regeneration runs on the aggregator's
+  // node. The driver then folds num_aggregators partial vectors.
+  // No per-ack wait: each aggregator's mailbox is serial, so its Drain
+  // (submitted below, after every Add) cannot run early. The driver touches
+  // only num_aggregators partial vectors.
+  for (size_t i = 0; i < results.size(); ++i) {
+    aggregators_[i % aggregators_.size()].Call<int>("Add", results[i]);
+  }
+  std::vector<float> grad(policy_.size(), 0.0f);
+  for (auto& agg : aggregators_) {
+    auto partial = ray_.Get(agg.Call<std::vector<float>>("Drain"), timeout_us);
+    if (!partial.ok()) {
+      return partial.status();
+    }
+    for (size_t i = 0; i < grad.size(); ++i) {
+      grad[i] += (*partial)[i];
+    }
+  }
+  return grad;
+}
+
+Result<std::vector<float>> EvolutionStrategies::AggregateFlat(
+    const std::vector<ObjectRef<EsResult>>& results, int64_t timeout_us) {
+  // Reference-implementation style: the driver folds every result itself,
+  // including regenerating every perturbation — the scaling bottleneck.
+  std::vector<float> grad(policy_.size(), 0.0f);
+  double fitness_sum = 0.0;
+  for (const auto& ref : results) {
+    auto r = ray_.Get(ref, timeout_us);
+    if (!r.ok()) {
+      return r.status();
+    }
+    std::vector<float> eps = PerturbationFromSeed(r->seed, policy_.size());
+    float w = (r->fitness_pos - r->fitness_neg) / (2.0f * config_.sigma);
+    for (size_t i = 0; i < grad.size(); ++i) {
+      grad[i] += w * eps[i];
+    }
+    fitness_sum += 0.5 * (r->fitness_pos + r->fitness_neg);
+    total_steps_ += r->steps;
+  }
+  last_mean_fitness_ = fitness_sum / std::max<size_t>(1, results.size());
+  return grad;
+}
+
+Result<EsReport> EvolutionStrategies::Train(int64_t timeout_us) {
+  Timer timer;
+  for (int it = 0; it < config_.iterations; ++it) {
+    auto policy_ref = ray_.Put(policy_);  // broadcast once per iteration
+    std::vector<ObjectRef<EsResult>> results;
+    results.reserve(config_.evaluations_per_iteration);
+    for (int e = 0; e < config_.evaluations_per_iteration; ++e) {
+      results.push_back(ray_.Call<EsResult>("es_evaluate", policy_ref, next_seed_, config_.sigma,
+                                            config_.env, config_.rollout_max_steps));
+      next_seed_ += 2;
+    }
+    auto grad = config_.tree_aggregation ? AggregateTree(results, timeout_us)
+                                         : AggregateFlat(results, timeout_us);
+    if (!grad.ok()) {
+      return grad.status();
+    }
+    // Normalized step (trust-region style): the estimate's direction is
+    // informative long before its magnitude is, so step lr along g/|g|.
+    double norm = 0.0;
+    for (float g : *grad) {
+      norm += static_cast<double>(g) * g;
+    }
+    norm = std::sqrt(norm) + 1e-8;
+    float scale = config_.lr / static_cast<float>(norm);
+    for (size_t i = 0; i < policy_.size(); ++i) {
+      policy_[i] += scale * (*grad)[i];
+    }
+    if (config_.tree_aggregation) {
+      // Track fitness with a cheap unperturbed probe rollout.
+      auto env = envs::MakeEnv(config_.env);
+      int steps = 0;
+      float total = envs::RolloutLinearPolicy(*env, policy_, 999, config_.rollout_max_steps, &steps);
+      last_mean_fitness_ = total / static_cast<float>(std::max(1, steps));
+    }
+  }
+  EsReport report;
+  report.wall_seconds = timer.ElapsedSeconds();
+  report.final_mean_fitness = last_mean_fitness_;
+  report.total_simulation_steps = total_steps_;
+  return report;
+}
+
+}  // namespace raylib
+}  // namespace ray

@@ -1,0 +1,127 @@
+// Evolution Strategies (Salimans et al.) on Ray (Section 5.3.1, Fig. 14a).
+// Each iteration broadcasts the policy parameters (one object, replicated on
+// demand to every node) and fans out many small antithetic-evaluation tasks
+// (the paper uses ~10000 of 10..1000 simulation steps each). Aggregation is
+// either flat — the driver gathers every result itself, the reference
+// implementation's bottleneck that collapses at scale — or through a tree of
+// aggregation actors, which is the 7-line change Ray makes easy.
+#ifndef RAY_RAYLIB_ES_H_
+#define RAY_RAYLIB_ES_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/api.h"
+
+namespace ray {
+namespace raylib {
+
+// Result of one antithetic evaluation pair.
+struct EsResult {
+  uint64_t seed = 0;
+  float fitness_pos = 0.0f;
+  float fitness_neg = 0.0f;
+  int steps = 0;
+
+  void SerializeTo(Writer& w) const {
+    Put(w, seed);
+    Put(w, fitness_pos);
+    Put(w, fitness_neg);
+    Put(w, steps);
+  }
+  static EsResult DeserializeFrom(Reader& r) {
+    EsResult e;
+    e.seed = Take<uint64_t>(r);
+    e.fitness_pos = Take<float>(r);
+    e.fitness_neg = Take<float>(r);
+    e.steps = Take<int>(r);
+    return e;
+  }
+};
+
+// Aggregation-tree node: accumulates the ES gradient estimate incrementally
+// as results stream in, so no single process touches all of them.
+class EsAggregator {
+ public:
+  int Init(int param_dim, float sigma);
+  // Folds one result into the running gradient estimate (regenerating the
+  // perturbation from its seed — the standard ES trick that keeps results
+  // tiny on the wire).
+  int Add(EsResult result);
+  // Returns the accumulated gradient contribution and resets.
+  std::vector<float> Drain();
+  int NumFolded() { return folded_; }
+
+ private:
+  int param_dim_ = 0;
+  float sigma_ = 0.1f;
+  int folded_ = 0;
+  std::vector<float> accum_;
+};
+
+void RegisterEsSupport(Cluster& cluster);
+
+struct EsConfig {
+  std::string env = "humanoid";
+  int policy_state_dim = 64;
+  int policy_action_dim = 16;
+  int iterations = 3;
+  int evaluations_per_iteration = 100;  // paper: ~10000, scaled
+  int rollout_max_steps = 200;
+  float sigma = 0.1f;
+  float lr = 0.1f;
+  // Flat driver aggregation (reference-implementation style) vs actor tree.
+  bool tree_aggregation = true;
+  int num_aggregators = 4;
+  std::vector<ResourceSet> aggregator_placements;  // optional pinning
+};
+
+struct EsReport {
+  double wall_seconds = 0.0;
+  double final_mean_fitness = 0.0;
+  uint64_t total_simulation_steps = 0;
+};
+
+class EvolutionStrategies {
+ public:
+  EvolutionStrategies(Ray ray, const EsConfig& config);
+
+  // Runs config.iterations of ES; returns timing + final fitness.
+  Result<EsReport> Train(int64_t timeout_us = 600'000'000);
+
+  const std::vector<float>& policy() const { return policy_; }
+
+ private:
+  Result<std::vector<float>> AggregateTree(
+      const std::vector<ObjectRef<EsResult>>& results, int64_t timeout_us);
+  Result<std::vector<float>> AggregateFlat(
+      const std::vector<ObjectRef<EsResult>>& results, int64_t timeout_us);
+
+  Ray ray_;
+  EsConfig config_;
+  std::vector<float> policy_;
+  std::vector<ActorHandle> aggregators_;
+  uint64_t next_seed_ = 1;
+  uint64_t total_steps_ = 0;
+  double last_mean_fitness_ = 0.0;
+};
+
+// The remote evaluation function ("es_evaluate"): perturbs the policy with
+// +sigma*eps and -sigma*eps (eps regenerated from `seed`) and runs one
+// rollout each.
+EsResult EsEvaluate(std::vector<float> policy, uint64_t seed, float sigma, std::string env_name,
+                    int max_steps);
+
+// Reference-implementation variant ("es_evaluate_full"): ships the whole
+// per-sample gradient contribution back instead of the seed — the payload
+// the special-purpose system's driver must ingest for every result, which is
+// what saturates it at scale (Fig. 14a). `pad_to_floats` models the result
+// size of a full-scale policy (the paper's Humanoid-v1 policy is ~350KB)
+// when the benchmark environment itself is small; 0 = no padding.
+std::vector<float> EsEvaluateFull(std::vector<float> policy, uint64_t seed, float sigma,
+                                  std::string env_name, int max_steps, int pad_to_floats);
+
+}  // namespace raylib
+}  // namespace ray
+
+#endif  // RAY_RAYLIB_ES_H_

@@ -1,0 +1,127 @@
+#include "raylib/nn.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ray {
+namespace nn {
+
+Mlp::Mlp(std::vector<int> layer_sizes, uint64_t seed) : layer_sizes_(std::move(layer_sizes)) {
+  RAY_CHECK(layer_sizes_.size() >= 2) << "need at least input and output layers";
+  size_t total = 0;
+  for (size_t l = 0; l + 1 < layer_sizes_.size(); ++l) {
+    int in = layer_sizes_[l];
+    int out = layer_sizes_[l + 1];
+    layers_.push_back(LayerView{total, total + static_cast<size_t>(in) * out, in, out});
+    total += static_cast<size_t>(in) * out + out;
+  }
+  Rng rng(seed);
+  params_.resize(total);
+  for (const LayerView& layer : layers_) {
+    float scale = std::sqrt(2.0f / static_cast<float>(layer.in));  // He-style init
+    for (int i = 0; i < layer.out * layer.in; ++i) {
+      params_[layer.w_offset + i] = static_cast<float>(rng.Normal(0.0, scale));
+    }
+    for (int i = 0; i < layer.out; ++i) {
+      params_[layer.b_offset + i] = 0.0f;
+    }
+  }
+}
+
+void Mlp::SetParams(std::vector<float> params) {
+  RAY_CHECK(params.size() == params_.size());
+  params_ = std::move(params);
+}
+
+void Mlp::AxpyParams(const std::vector<float>& delta, float scale) {
+  RAY_CHECK(delta.size() == params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    params_[i] += delta[i] * scale;
+  }
+}
+
+std::vector<float> Mlp::Forward(const std::vector<float>& input) const {
+  RAY_CHECK(static_cast<int>(input.size()) == layer_sizes_.front());
+  std::vector<float> act = input;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const LayerView& layer = layers_[l];
+    std::vector<float> next(layer.out);
+    for (int o = 0; o < layer.out; ++o) {
+      float sum = params_[layer.b_offset + o];
+      const float* w = &params_[layer.w_offset + static_cast<size_t>(o) * layer.in];
+      for (int i = 0; i < layer.in; ++i) {
+        sum += w[i] * act[i];
+      }
+      next[o] = (l + 1 < layers_.size()) ? std::tanh(sum) : sum;
+    }
+    act = std::move(next);
+  }
+  return act;
+}
+
+std::vector<float> Mlp::Gradient(const std::vector<float>& inputs, const std::vector<float>& targets,
+                                 int batch, float* loss_out) const {
+  int in_dim = layer_sizes_.front();
+  int out_dim = layer_sizes_.back();
+  RAY_CHECK(inputs.size() == static_cast<size_t>(batch) * in_dim);
+  RAY_CHECK(targets.size() == static_cast<size_t>(batch) * out_dim);
+
+  std::vector<float> grad(params_.size(), 0.0f);
+  double total_loss = 0.0;
+
+  // Per-example forward with stored activations, then backprop.
+  std::vector<std::vector<float>> acts(layers_.size() + 1);
+  for (int b = 0; b < batch; ++b) {
+    acts[0].assign(inputs.begin() + static_cast<size_t>(b) * in_dim,
+                   inputs.begin() + static_cast<size_t>(b + 1) * in_dim);
+    for (size_t l = 0; l < layers_.size(); ++l) {
+      const LayerView& layer = layers_[l];
+      acts[l + 1].assign(layer.out, 0.0f);
+      for (int o = 0; o < layer.out; ++o) {
+        float sum = params_[layer.b_offset + o];
+        const float* w = &params_[layer.w_offset + static_cast<size_t>(o) * layer.in];
+        for (int i = 0; i < layer.in; ++i) {
+          sum += w[i] * acts[l][i];
+        }
+        acts[l + 1][o] = (l + 1 < layers_.size()) ? std::tanh(sum) : sum;
+      }
+    }
+    // dL/dy for MSE (factor 2/batch folded into scale below).
+    std::vector<float> delta(out_dim);
+    for (int o = 0; o < out_dim; ++o) {
+      float err = acts.back()[o] - targets[static_cast<size_t>(b) * out_dim + o];
+      delta[o] = 2.0f * err / static_cast<float>(batch);
+      total_loss += static_cast<double>(err) * err;
+    }
+    for (size_t l = layers_.size(); l-- > 0;) {
+      const LayerView& layer = layers_[l];
+      std::vector<float> prev_delta(layer.in, 0.0f);
+      for (int o = 0; o < layer.out; ++o) {
+        float d = delta[o];
+        float* gw = &grad[layer.w_offset + static_cast<size_t>(o) * layer.in];
+        const float* w = &params_[layer.w_offset + static_cast<size_t>(o) * layer.in];
+        for (int i = 0; i < layer.in; ++i) {
+          gw[i] += d * acts[l][i];
+          prev_delta[i] += d * w[i];
+        }
+        grad[layer.b_offset + o] += d;
+      }
+      if (l > 0) {
+        // Through the tanh of the previous layer: act' = 1 - act^2.
+        for (int i = 0; i < layer.in; ++i) {
+          float a = acts[l][i];
+          prev_delta[i] *= (1.0f - a * a);
+        }
+      }
+      delta = std::move(prev_delta);
+    }
+  }
+  if (loss_out != nullptr) {
+    *loss_out = static_cast<float>(total_loss / batch);
+  }
+  return grad;
+}
+
+}  // namespace nn
+}  // namespace ray

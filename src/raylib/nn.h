@@ -1,0 +1,58 @@
+// A small dense neural network (multi-layer perceptron) used as the policy /
+// model in the evaluation workloads. The paper integrates TensorFlow; here
+// the model is implemented directly so gradient computation is real CPU work
+// with a controllable compute/communication ratio (what Fig. 13 measures).
+#ifndef RAY_RAYLIB_NN_H_
+#define RAY_RAYLIB_NN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ray {
+namespace nn {
+
+// Fully-connected network with tanh hidden activations and linear output.
+class Mlp {
+ public:
+  // layer_sizes = {in, hidden..., out}.
+  explicit Mlp(std::vector<int> layer_sizes, uint64_t seed = 42);
+
+  size_t NumParams() const { return params_.size(); }
+  const std::vector<float>& Params() const { return params_; }
+  void SetParams(std::vector<float> params);
+  // params += delta * scale (used for ES perturbations and SGD updates).
+  void AxpyParams(const std::vector<float>& delta, float scale);
+
+  // Forward pass for a single input vector.
+  std::vector<float> Forward(const std::vector<float>& input) const;
+
+  // Mean-squared-error gradient for a batch: returns d(loss)/d(params) and
+  // optionally the batch loss. inputs/targets are row-major
+  // [batch x in], [batch x out].
+  std::vector<float> Gradient(const std::vector<float>& inputs, const std::vector<float>& targets,
+                              int batch, float* loss_out = nullptr) const;
+
+  // SGD step: params -= lr * grad.
+  void ApplyGradient(const std::vector<float>& grad, float lr) { AxpyParams(grad, -lr); }
+
+  const std::vector<int>& layer_sizes() const { return layer_sizes_; }
+
+ private:
+  struct LayerView {
+    size_t w_offset;  // [out x in] row-major
+    size_t b_offset;  // [out]
+    int in;
+    int out;
+  };
+
+  std::vector<int> layer_sizes_;
+  std::vector<LayerView> layers_;
+  std::vector<float> params_;
+};
+
+}  // namespace nn
+}  // namespace ray
+
+#endif  // RAY_RAYLIB_NN_H_

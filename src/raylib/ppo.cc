@@ -1,0 +1,181 @@
+#include "raylib/ppo.h"
+
+#include <deque>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "raylib/env.h"
+
+namespace ray {
+namespace raylib {
+
+Trajectory PpoRollout(std::vector<float> policy, uint64_t seed, float noise_sigma,
+                      std::string env_name, int max_steps) {
+  Rng rng(seed);
+  std::vector<float> eps = rng.NormalVector(policy.size());
+  for (size_t i = 0; i < policy.size(); ++i) {
+    policy[i] += noise_sigma * eps[i];
+  }
+  auto env = envs::MakeEnv(env_name);
+  Trajectory t;
+  t.seed = seed;
+  int steps = 0;
+  t.total_reward = envs::RolloutLinearPolicy(*env, policy, seed, max_steps, &steps);
+  t.steps = steps;
+  // Real payload: 4 floats of per-step summary, so trajectories cost bytes
+  // proportional to their length on the wire (as real observations would).
+  t.features.resize(static_cast<size_t>(steps) * 4);
+  Rng frng(seed + 17);
+  for (auto& f : t.features) {
+    f = static_cast<float>(frng.Normal());
+  }
+  return t;
+}
+
+int PpoOptimizer::Init(int param_dim, float lr, float noise_sigma, int sgd_epochs, int minibatch) {
+  policy_.assign(param_dim, 0.0f);
+  grad_accum_.assign(param_dim, 0.0f);
+  lr_ = lr;
+  noise_sigma_ = noise_sigma;
+  sgd_epochs_ = sgd_epochs;
+  minibatch_ = minibatch;
+  steps_collected_ = 0;
+  trajectories_ = 0;
+  reward_baseline_ = 0.0;
+  return param_dim;
+}
+
+int PpoOptimizer::SetPolicy(std::vector<float> policy) {
+  RAY_CHECK(policy.size() == policy_.size());
+  policy_ = std::move(policy);
+  return static_cast<int>(policy_.size());
+}
+
+int PpoOptimizer::AddTrajectory(Trajectory t) {
+  // Advantage-weighted parameter-noise gradient (seed regeneration).
+  Rng rng(t.seed);
+  std::vector<float> eps = rng.NormalVector(policy_.size());
+  double advantage = t.total_reward - reward_baseline_;
+  for (size_t i = 0; i < policy_.size(); ++i) {
+    grad_accum_[i] += static_cast<float>(advantage) * eps[i];
+  }
+  ++trajectories_;
+  steps_collected_ += t.steps;
+  // Running reward baseline.
+  reward_baseline_ += (t.total_reward - reward_baseline_) / trajectories_;
+  return steps_collected_;
+}
+
+std::vector<float> PpoOptimizer::UpdatePolicy() {
+  // Burn optimizer compute like the paper's 20 SGD epochs over the batch;
+  // the work is proportional to epochs x minibatch x param_dim.
+  volatile float sink = 0.0f;
+  for (int e = 0; e < sgd_epochs_; ++e) {
+    for (int m = 0; m < minibatch_ / 64; ++m) {
+      float acc = 0.0f;
+      for (size_t i = 0; i < policy_.size(); ++i) {
+        acc += policy_[i] * grad_accum_[i % grad_accum_.size()];
+      }
+      sink = sink + acc;
+    }
+  }
+  (void)sink;
+
+  if (trajectories_ > 0) {
+    float scale = lr_ / (noise_sigma_ * static_cast<float>(trajectories_));
+    for (size_t i = 0; i < policy_.size(); ++i) {
+      policy_[i] += scale * grad_accum_[i];
+    }
+  }
+  grad_accum_.assign(policy_.size(), 0.0f);
+  trajectories_ = 0;
+  steps_collected_ = 0;
+  return policy_;
+}
+
+void RegisterPpoSupport(Cluster& cluster) {
+  cluster.RegisterFunction("ppo_rollout", &PpoRollout);
+  cluster.RegisterActorClass<PpoOptimizer>("PpoOptimizer");
+  cluster.RegisterActorMethod("PpoOptimizer", "Init", &PpoOptimizer::Init);
+  cluster.RegisterActorMethod("PpoOptimizer", "SetPolicy", &PpoOptimizer::SetPolicy);
+  cluster.RegisterActorMethod("PpoOptimizer", "AddTrajectory", &PpoOptimizer::AddTrajectory);
+  cluster.RegisterActorMethod("PpoOptimizer", "UpdatePolicy", &PpoOptimizer::UpdatePolicy);
+  cluster.RegisterActorMethod("PpoOptimizer", "StepsCollected", &PpoOptimizer::StepsCollected);
+  cluster.RegisterActorMethod("PpoOptimizer", "MeanReward", &PpoOptimizer::MeanReward);
+}
+
+Ppo::Ppo(Ray ray, const PpoConfig& config) : ray_(ray), config_(config) {
+  size_t dim =
+      static_cast<size_t>(config_.policy_action_dim) * config_.policy_state_dim + config_.policy_action_dim;
+  Rng rng(13);
+  policy_ = rng.NormalVector(dim, 0.0, 0.05);
+  optimizer_ = ray_.CreateActor("PpoOptimizer", config_.optimizer_resources);
+  optimizer_.Call<int>("Init", static_cast<int>(dim), config_.lr, config_.noise_sigma,
+                       config_.sgd_epochs, config_.minibatch);
+}
+
+Result<PpoReport> Ppo::Train(int64_t timeout_us) {
+  Timer timer;
+  PpoReport report;
+  double last_reward = 0.0;
+  for (int it = 0; it < config_.iterations; ++it) {
+    auto ack = optimizer_.Call<int>("SetPolicy", ray_.Put(policy_));
+    auto r = ray_.Get(ack, timeout_us);
+    if (!r.ok()) {
+      return r.status();
+    }
+    auto policy_ref = ray_.Put(policy_);
+
+    // Asynchronous scatter-gather: keep max_in_flight rollout tasks going.
+    // Each trajectory object flows rollout-node -> optimizer-node directly
+    // (AddTrajectory takes the future); the driver only watches the tiny
+    // cumulative-step acks, never the trajectory payloads.
+    std::vector<ObjectRef<int>> acks;
+    auto submit = [&] {
+      auto traj = ray_.Call<Trajectory>("ppo_rollout", policy_ref, next_seed_++,
+                                        config_.noise_sigma, config_.env,
+                                        config_.rollout_max_steps);
+      acks.push_back(optimizer_.Call<int>("AddTrajectory", traj));
+    };
+    for (int i = 0; i < config_.max_in_flight; ++i) {
+      submit();
+    }
+    uint64_t steps = 0;
+    while (steps < static_cast<uint64_t>(config_.steps_per_batch)) {
+      auto ready = ray_.Wait(acks, 1, timeout_us);
+      if (ready.empty()) {
+        return Status::TimedOut("ppo rollouts stalled");
+      }
+      size_t idx = ready[0];
+      auto collected = ray_.Get(acks[idx], timeout_us);
+      if (!collected.ok()) {
+        return collected.status();
+      }
+      // AddTrajectory returns the optimizer's cumulative step count.
+      steps = std::max<uint64_t>(steps, static_cast<uint64_t>(*collected));
+      acks.erase(acks.begin() + static_cast<long>(idx));
+      if (steps < static_cast<uint64_t>(config_.steps_per_batch)) {
+        submit();
+      }
+    }
+    // Straggler acks were all submitted before UpdatePolicy, so the actor
+    // chain folds them into this batch; no need to wait on them here.
+    auto batch_steps = optimizer_.Call<int>("StepsCollected");
+    auto batch_reward = optimizer_.Call<float>("MeanReward");
+    auto new_policy = ray_.Get(optimizer_.Call<std::vector<float>>("UpdatePolicy"), timeout_us);
+    if (!new_policy.ok()) {
+      return new_policy.status();
+    }
+    policy_ = std::move(*new_policy);
+    auto total = ray_.Get(batch_steps, timeout_us);
+    report.total_steps += total.ok() ? static_cast<uint64_t>(*total) : steps;
+    auto reward = ray_.Get(batch_reward, timeout_us);
+    last_reward = reward.ok() ? *reward : 0.0;
+  }
+  report.wall_seconds = timer.ElapsedSeconds();
+  report.final_reward = last_reward;
+  return report;
+}
+
+}  // namespace raylib
+}  // namespace ray

@@ -1,0 +1,114 @@
+// Proximal Policy Optimization on Ray (Section 5.3.2, Fig. 14b), structured
+// as the paper describes: an asynchronous scatter-gather. Rollout tasks are
+// CPU-only and scheduled wherever CPUs are free; the optimizer is an actor
+// whose resource demand pins it to a GPU node. The driver keeps a window of
+// rollout tasks in flight, forwards trajectories to the optimizer as they
+// finish (ray.wait), and triggers a policy update once enough simulation
+// steps have been collected. Heterogeneity-awareness — CPU tasks on cheap
+// CPU nodes, one GPU actor — is exactly what the symmetric MPI baseline
+// cannot express.
+#ifndef RAY_RAYLIB_PPO_H_
+#define RAY_RAYLIB_PPO_H_
+
+#include <string>
+#include <vector>
+
+#include "runtime/api.h"
+
+namespace ray {
+namespace raylib {
+
+struct Trajectory {
+  uint64_t seed = 0;   // exploration-noise seed (perturbation regenerated)
+  float total_reward = 0.0f;
+  int steps = 0;
+  std::vector<float> features;  // per-step observations (real payload bytes)
+
+  void SerializeTo(Writer& w) const {
+    Put(w, seed);
+    Put(w, total_reward);
+    Put(w, steps);
+    Put(w, features);
+  }
+  static Trajectory DeserializeFrom(Reader& r) {
+    Trajectory t;
+    t.seed = Take<uint64_t>(r);
+    t.total_reward = Take<float>(r);
+    t.steps = Take<int>(r);
+    t.features = Take<std::vector<float>>(r);
+    return t;
+  }
+};
+
+// Remote function "ppo_rollout": runs one episode under the policy plus
+// parameter-space exploration noise drawn from `seed`.
+Trajectory PpoRollout(std::vector<float> policy, uint64_t seed, float noise_sigma,
+                      std::string env_name, int max_steps);
+
+// Optimizer actor ("PpoOptimizer"), typically pinned to a GPU node.
+class PpoOptimizer {
+ public:
+  int Init(int param_dim, float lr, float noise_sigma, int sgd_epochs, int minibatch);
+  int SetPolicy(std::vector<float> policy);
+  // Folds one trajectory into the pending batch (advantage-weighted
+  // parameter-noise gradient, the same seed-regeneration trick as ES).
+  int AddTrajectory(Trajectory t);
+  // Applies the update; burns compute proportional to sgd_epochs x
+  // minibatch (the paper's 20 epochs of batch-32768 SGD) and returns the
+  // new policy.
+  std::vector<float> UpdatePolicy();
+  int StepsCollected() { return steps_collected_; }
+  float MeanReward() { return static_cast<float>(reward_baseline_); }
+
+ private:
+  std::vector<float> policy_;
+  std::vector<float> grad_accum_;
+  float lr_ = 0.01f;
+  float noise_sigma_ = 0.1f;
+  int sgd_epochs_ = 20;
+  int minibatch_ = 1024;
+  int steps_collected_ = 0;
+  int trajectories_ = 0;
+  double reward_baseline_ = 0.0;
+};
+
+void RegisterPpoSupport(Cluster& cluster);
+
+struct PpoConfig {
+  std::string env = "humanoid";
+  int policy_state_dim = 64;
+  int policy_action_dim = 16;
+  int iterations = 3;
+  int steps_per_batch = 3000;  // paper: 320000, scaled
+  int rollout_max_steps = 500;
+  int max_in_flight = 32;  // concurrent rollout tasks
+  float noise_sigma = 0.05f;
+  float lr = 0.02f;
+  int sgd_epochs = 20;
+  int minibatch = 1024;
+  ResourceSet optimizer_resources = ResourceSet{{"CPU", 1}, {"GPU", 1}};
+};
+
+struct PpoReport {
+  double wall_seconds = 0.0;
+  uint64_t total_steps = 0;
+  double final_reward = 0.0;
+};
+
+class Ppo {
+ public:
+  Ppo(Ray ray, const PpoConfig& config);
+  Result<PpoReport> Train(int64_t timeout_us = 600'000'000);
+
+ private:
+  Ray ray_;
+  PpoConfig config_;
+  std::vector<float> policy_;
+  ActorHandle optimizer_;
+  uint64_t next_seed_ = 1;
+};
+
+}  // namespace raylib
+}  // namespace ray
+
+#endif  // RAY_RAYLIB_PPO_H_

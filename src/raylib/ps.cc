@@ -1,0 +1,106 @@
+#include "raylib/ps.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace ray {
+namespace raylib {
+
+int PsShard::Init(int size, uint64_t seed) {
+  Rng rng(seed);
+  params_ = rng.NormalVector(static_cast<size_t>(size), 0.0, 0.05);
+  return size;
+}
+
+int PsShard::ApplyGrad(std::vector<float> grad, float scale) {
+  RAY_CHECK(grad.size() == params_.size()) << "gradient/parameter shard size mismatch";
+  for (size_t i = 0; i < params_.size(); ++i) {
+    params_[i] += grad[i] * scale;
+  }
+  return static_cast<int>(params_.size());
+}
+
+int PsShard::SetValues(std::vector<float> values) {
+  params_ = std::move(values);
+  return static_cast<int>(params_.size());
+}
+
+void RegisterParameterServerSupport(Cluster& cluster) {
+  cluster.RegisterActorClass<PsShard>("PsShard");
+  cluster.RegisterActorMethod("PsShard", "Init", &PsShard::Init);
+  cluster.RegisterActorMethod("PsShard", "Get", &PsShard::Get);
+  cluster.RegisterActorMethod("PsShard", "ApplyGrad", &PsShard::ApplyGrad);
+  cluster.RegisterActorMethod("PsShard", "SetValues", &PsShard::SetValues);
+}
+
+ShardedParameterServer::ShardedParameterServer(Ray ray, int total_size,
+                                               const std::vector<ResourceSet>& placements,
+                                               uint64_t seed)
+    : ray_(ray), total_size_(total_size) {
+  int n = static_cast<int>(placements.size());
+  RAY_CHECK(n >= 1);
+  int per = total_size / n;
+  for (int i = 0; i < n; ++i) {
+    int size = (i == n - 1) ? total_size - per * (n - 1) : per;
+    sizes_.push_back(size);
+    shards_.push_back(ray_.CreateActor("PsShard", placements[i]));
+    shards_.back().Call<int>("Init", size, seed + i);
+  }
+}
+
+int ShardedParameterServer::shard_size(int i) const { return sizes_[i]; }
+
+std::vector<ObjectRef<std::vector<float>>> ShardedParameterServer::GetShardRefs() {
+  std::vector<ObjectRef<std::vector<float>>> refs;
+  refs.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    refs.push_back(shard.Call<std::vector<float>>("Get"));
+  }
+  return refs;
+}
+
+std::vector<ObjectRef<int>> ShardedParameterServer::Push(
+    const std::vector<ObjectRef<std::vector<float>>>& grad_refs, float scale) {
+  RAY_CHECK(grad_refs.size() == shards_.size());
+  std::vector<ObjectRef<int>> acks;
+  acks.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    acks.push_back(shards_[i].Call<int>("ApplyGrad", grad_refs[i], scale));
+  }
+  return acks;
+}
+
+Result<std::vector<float>> ShardedParameterServer::Fetch(int64_t timeout_us) {
+  auto refs = GetShardRefs();
+  std::vector<float> full;
+  full.reserve(total_size_);
+  for (auto& ref : refs) {
+    auto slice = ray_.Get(ref, timeout_us);
+    if (!slice.ok()) {
+      return slice.status();
+    }
+    full.insert(full.end(), slice->begin(), slice->end());
+  }
+  return full;
+}
+
+Status ShardedParameterServer::SetAll(const std::vector<float>& values, int64_t timeout_us) {
+  RAY_CHECK(static_cast<int>(values.size()) == total_size_);
+  std::vector<ObjectRef<int>> acks;
+  size_t offset = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::vector<float> slice(values.begin() + offset, values.begin() + offset + sizes_[i]);
+    offset += sizes_[i];
+    acks.push_back(shards_[i].Call<int>("SetValues", ray_.Put(slice)));
+  }
+  for (auto& ack : acks) {
+    auto r = ray_.Get(ack, timeout_us);
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace raylib
+}  // namespace ray

@@ -1,0 +1,68 @@
+// Sharded parameter server built from Ray actors (Sections 2, 5.2.1). Each
+// shard is an actor holding a slice of the model; workers read shards
+// (objects flow through the store, so co-located readers are zero-copy) and
+// push gradient slices back. Sharding across nodes removes the single-server
+// network bottleneck — the same reason the GCS itself is sharded.
+#ifndef RAY_RAYLIB_PS_H_
+#define RAY_RAYLIB_PS_H_
+
+#include <vector>
+
+#include "runtime/api.h"
+
+namespace ray {
+namespace raylib {
+
+// The shard actor. Registered as class "PsShard".
+class PsShard {
+ public:
+  int Init(int size, uint64_t seed);
+  std::vector<float> Get() { return params_; }
+  // params += grad * scale (scale = -lr for plain SGD).
+  int ApplyGrad(std::vector<float> grad, float scale);
+  int SetValues(std::vector<float> values);
+
+  void SaveCheckpoint(Writer& w) const { Put(w, params_); }
+  void RestoreCheckpoint(Reader& r) { params_ = Take<std::vector<float>>(r); }
+
+ private:
+  std::vector<float> params_;
+};
+
+void RegisterParameterServerSupport(Cluster& cluster);
+
+// Client-side view of a sharded parameter server.
+class ShardedParameterServer {
+ public:
+  // Splits `total_size` parameters across `placements.size()` shard actors.
+  ShardedParameterServer(Ray ray, int total_size, const std::vector<ResourceSet>& placements,
+                         uint64_t seed = 1);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int shard_size(int i) const;
+  int total_size() const { return total_size_; }
+  ActorHandle& shard(int i) { return shards_[i]; }
+
+  // Futures of every shard's current parameters.
+  std::vector<ObjectRef<std::vector<float>>> GetShardRefs();
+
+  // Pushes gradient slices: shard i += grad_refs[i] * scale.
+  std::vector<ObjectRef<int>> Push(const std::vector<ObjectRef<std::vector<float>>>& grad_refs,
+                                   float scale);
+
+  // Gathers the full parameter vector (blocking).
+  Result<std::vector<float>> Fetch(int64_t timeout_us = 60'000'000);
+  // Overwrites all shards from a full vector (blocking until acknowledged).
+  Status SetAll(const std::vector<float>& values, int64_t timeout_us = 60'000'000);
+
+ private:
+  Ray ray_;
+  int total_size_;
+  std::vector<ActorHandle> shards_;
+  std::vector<int> sizes_;
+};
+
+}  // namespace raylib
+}  // namespace ray
+
+#endif  // RAY_RAYLIB_PS_H_

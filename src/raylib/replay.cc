@@ -1,0 +1,239 @@
+#include "raylib/replay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace ray {
+namespace raylib {
+
+float ChainMdp::Step(int action, int* next_state, bool* terminal) {
+  *terminal = false;
+  float reward = -0.1f;
+  if (action == 1) {
+    if (state_ == num_states_ - 1) {
+      *terminal = true;
+      reward = 10.0f;
+      *next_state = state_;
+      return reward;
+    }
+    ++state_;
+  } else if (state_ > 0) {
+    --state_;
+  }
+  *next_state = state_;
+  return reward;
+}
+
+float ChainMdp::OptimalQ(int state, int num_states, float gamma) {
+  // Always-right from `state`: (num_states - 1 - state) steps of -0.1, then
+  // +10, all discounted.
+  int steps_to_goal = num_states - 1 - state;
+  float q = 0.0f;
+  float discount = 1.0f;
+  for (int i = 0; i < steps_to_goal; ++i) {
+    q += discount * -0.1f;
+    discount *= gamma;
+  }
+  q += discount * 10.0f;
+  return q;
+}
+
+int ReplayBuffer::Init(int capacity) {
+  capacity_ = capacity;
+  items_.clear();
+  priorities_.clear();
+  next_slot_ = 0;
+  max_priority_ = 1.0f;
+  return capacity;
+}
+
+int ReplayBuffer::AddBatch(std::vector<Transition> batch) {
+  for (Transition& t : batch) {
+    if (static_cast<int>(items_.size()) < capacity_) {
+      items_.push_back(std::move(t));
+      priorities_.push_back(max_priority_);
+    } else {
+      items_[next_slot_] = std::move(t);
+      priorities_[next_slot_] = max_priority_;
+      next_slot_ = (next_slot_ + 1) % capacity_;
+    }
+  }
+  return static_cast<int>(items_.size());
+}
+
+std::vector<Transition> ReplayBuffer::SampleBatch(int n, uint64_t seed) {
+  std::vector<Transition> out;
+  last_sampled_.clear();
+  if (items_.empty()) {
+    return out;
+  }
+  Rng rng(seed);
+  double total = 0;
+  for (float p : priorities_) {
+    total += p;
+  }
+  for (int i = 0; i < n; ++i) {
+    double r = rng.Uniform(0.0, total);
+    size_t idx = 0;
+    double acc = 0;
+    for (; idx + 1 < priorities_.size(); ++idx) {
+      acc += priorities_[idx];
+      if (acc >= r) {
+        break;
+      }
+    }
+    out.push_back(items_[idx]);
+    last_sampled_.push_back(static_cast<int>(idx));
+  }
+  return out;
+}
+
+int ReplayBuffer::UpdatePriorities(std::vector<int> ids, std::vector<float> priorities) {
+  RAY_CHECK(ids.size() == priorities.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] >= 0 && ids[i] < static_cast<int>(priorities_.size())) {
+      priorities_[ids[i]] = std::max(1e-3f, priorities[i]);
+      max_priority_ = std::max(max_priority_, priorities_[ids[i]]);
+    }
+  }
+  return static_cast<int>(ids.size());
+}
+
+int QLearner::Init(int num_states, int num_actions, float gamma, float lr) {
+  num_states_ = num_states;
+  num_actions_ = num_actions;
+  gamma_ = gamma;
+  lr_ = lr;
+  steps_ = 0;
+  q_.assign(static_cast<size_t>(num_states) * num_actions, 0.0f);
+  return num_states * num_actions;
+}
+
+std::vector<float> QLearner::Learn(std::vector<Transition> batch) {
+  std::vector<float> td_errors;
+  td_errors.reserve(batch.size());
+  for (const Transition& t : batch) {
+    float target = t.reward;
+    if (!t.terminal) {
+      float best_next = Q(t.next_state, 0);
+      for (int a = 1; a < num_actions_; ++a) {
+        best_next = std::max(best_next, Q(t.next_state, a));
+      }
+      target += gamma_ * best_next;
+    }
+    float td = target - Q(t.state, t.action);
+    Q(t.state, t.action) += lr_ * td;
+    td_errors.push_back(std::fabs(td));
+  }
+  ++steps_;
+  return td_errors;
+}
+
+std::vector<Transition> ApexExplore(std::vector<float> q, int num_states, int num_actions,
+                                    float epsilon, int episodes, uint64_t seed) {
+  Rng rng(seed);
+  ChainMdp env(num_states);
+  std::vector<Transition> experience;
+  for (int e = 0; e < episodes; ++e) {
+    int state = env.Reset();
+    bool terminal = false;
+    int guard = 0;
+    while (!terminal && guard++ < num_states * 20) {
+      int action;
+      if (rng.Uniform() < epsilon || q.empty()) {
+        action = static_cast<int>(rng.UniformInt(0, num_actions - 1));
+      } else {
+        action = 0;
+        float best = q[static_cast<size_t>(state) * num_actions];
+        for (int a = 1; a < num_actions; ++a) {
+          float v = q[static_cast<size_t>(state) * num_actions + a];
+          if (v > best) {
+            best = v;
+            action = a;
+          }
+        }
+      }
+      Transition t;
+      t.state = state;
+      t.action = action;
+      t.reward = env.Step(action, &t.next_state, &terminal);
+      t.terminal = terminal;
+      state = t.next_state;
+      experience.push_back(t);
+    }
+  }
+  return experience;
+}
+
+void RegisterApexSupport(Cluster& cluster) {
+  cluster.RegisterFunction("apex_explore", &ApexExplore);
+  cluster.RegisterActorClass<ReplayBuffer>("ReplayBuffer");
+  cluster.RegisterActorMethod("ReplayBuffer", "Init", &ReplayBuffer::Init);
+  cluster.RegisterActorMethod("ReplayBuffer", "AddBatch", &ReplayBuffer::AddBatch);
+  cluster.RegisterActorMethod("ReplayBuffer", "SampleBatch", &ReplayBuffer::SampleBatch);
+  cluster.RegisterActorMethod("ReplayBuffer", "LastSampledIds", &ReplayBuffer::LastSampledIds,
+                              /*read_only=*/true);
+  cluster.RegisterActorMethod("ReplayBuffer", "UpdatePriorities", &ReplayBuffer::UpdatePriorities);
+  cluster.RegisterActorMethod("ReplayBuffer", "Size", &ReplayBuffer::Size, /*read_only=*/true);
+  cluster.RegisterActorClass<QLearner>("QLearner");
+  cluster.RegisterActorMethod("QLearner", "Init", &QLearner::Init);
+  cluster.RegisterActorMethod("QLearner", "Learn", &QLearner::Learn);
+  cluster.RegisterActorMethod("QLearner", "GetQ", &QLearner::GetQ, /*read_only=*/true);
+  cluster.RegisterActorMethod("QLearner", "StepsLearned", &QLearner::StepsLearned,
+                              /*read_only=*/true);
+}
+
+Result<ApexReport> RunApex(Ray ray, const ApexConfig& config) {
+  ActorHandle replay = ray.CreateActor("ReplayBuffer", config.replay_resources);
+  replay.Call<int>("Init", config.replay_capacity);
+  ActorHandle learner = ray.CreateActor("QLearner", config.learner_resources);
+  learner.Call<int>("Init", config.num_states, 2, config.gamma, config.lr);
+
+  Timer timer;
+  ApexReport report;
+  std::vector<float> q;  // broadcast policy for exploration
+  uint64_t seed = 1;
+  constexpr int64_t kStepTimeoutUs = 60'000'000;
+  for (int it = 0; it < config.iterations; ++it) {
+    // Scatter: exploration tasks run under the latest broadcast Q.
+    auto q_ref = ray.Put(q);
+    std::vector<ObjectRef<int>> add_acks;
+    for (int w = 0; w < config.num_workers; ++w) {
+      auto experience = ray.Call<std::vector<Transition>>(
+          "apex_explore", q_ref, config.num_states, 2, config.epsilon, config.episodes_per_task,
+          seed++);
+      // Experience flows worker-node -> replay-node without the driver.
+      add_acks.push_back(replay.Call<int>("AddBatch", experience));
+    }
+    for (auto& ack : add_acks) {
+      auto n = ray.Get(ack, kStepTimeoutUs);
+      if (!n.ok()) {
+        return n.status();
+      }
+      report.transitions_generated = *n;
+    }
+    // Learn: sample by priority, update Q, push refreshed priorities back.
+    for (int l = 0; l < 4; ++l) {
+      auto batch = replay.Call<std::vector<Transition>>("SampleBatch", config.sample_batch, seed++);
+      auto new_priorities = learner.Call<std::vector<float>>("Learn", batch);
+      auto ids = replay.Call<std::vector<int>>("LastSampledIds");
+      replay.Call<int>("UpdatePriorities", ids, new_priorities);
+    }
+    auto new_q = ray.Get(learner.Call<std::vector<float>>("GetQ"), kStepTimeoutUs);
+    if (!new_q.ok()) {
+      return new_q.status();
+    }
+    q = std::move(*new_q);
+  }
+  auto steps = ray.Get(learner.Call<int>("StepsLearned"), kStepTimeoutUs);
+  report.learn_steps = steps.ok() ? *steps : 0;
+  report.q = std::move(q);
+  report.wall_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace raylib
+}  // namespace ray

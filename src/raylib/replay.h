@@ -1,0 +1,153 @@
+// Distributed prioritized experience replay (Ape-X, Horgan et al. — one of
+// the algorithms Section 7 reports porting to Ray in tens of lines). The
+// replay buffer is an actor holding prioritized transitions; exploration
+// workers are plain tasks that roll out an epsilon-greedy policy and push
+// experience batches; the learner is an actor that samples by priority,
+// applies Q-learning updates, and feeds refreshed priorities back. The
+// environment is a verifiable chain MDP so tests can check convergence to
+// the known optimal policy.
+#ifndef RAY_RAYLIB_REPLAY_H_
+#define RAY_RAYLIB_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/serialization.h"
+#include "runtime/api.h"
+
+namespace ray {
+namespace raylib {
+
+// A discrete-MDP transition.
+struct Transition {
+  int state = 0;
+  int action = 0;
+  float reward = 0.0f;
+  int next_state = 0;
+  bool terminal = false;
+
+  void SerializeTo(Writer& w) const {
+    Put(w, state);
+    Put(w, action);
+    Put(w, reward);
+    Put(w, next_state);
+    w.WritePod<uint8_t>(terminal ? 1 : 0);
+  }
+  static Transition DeserializeFrom(Reader& r) {
+    Transition t;
+    t.state = Take<int>(r);
+    t.action = Take<int>(r);
+    t.reward = Take<float>(r);
+    t.next_state = Take<int>(r);
+    t.terminal = r.ReadPod<uint8_t>() != 0;
+    return t;
+  }
+};
+
+// The classic n-state chain MDP: actions {0 = left, 1 = right}; moving right
+// from the last state pays +10 and terminates, any other move pays -0.1.
+// Optimal policy: always right; optimal Q is computable in closed form.
+class ChainMdp {
+ public:
+  explicit ChainMdp(int num_states = 10) : num_states_(num_states) {}
+
+  int num_states() const { return num_states_; }
+  int num_actions() const { return 2; }
+
+  int Reset() {
+    state_ = 0;
+    return state_;
+  }
+  // Returns the reward; sets *terminal.
+  float Step(int action, int* next_state, bool* terminal);
+
+  // Ground truth for tests: value of always-right from state s with
+  // discount `gamma`.
+  static float OptimalQ(int state, int num_states, float gamma);
+
+ private:
+  int num_states_;
+  int state_ = 0;
+};
+
+// Prioritized replay buffer actor ("ReplayBuffer").
+class ReplayBuffer {
+ public:
+  int Init(int capacity);
+  // Adds transitions with max priority (fresh experience is interesting).
+  int AddBatch(std::vector<Transition> batch);
+  // Priority-weighted sample (with replacement). Returns the sampled
+  // transitions; the parallel index list is retrievable via LastSampledIds
+  // so the learner can push back refreshed priorities.
+  std::vector<Transition> SampleBatch(int n, uint64_t seed);
+  std::vector<int> LastSampledIds() { return last_sampled_; }
+  int UpdatePriorities(std::vector<int> ids, std::vector<float> priorities);
+  int Size() { return static_cast<int>(items_.size()); }
+
+ private:
+  int capacity_ = 0;
+  int next_slot_ = 0;
+  std::vector<Transition> items_;
+  std::vector<float> priorities_;
+  std::vector<int> last_sampled_;
+  float max_priority_ = 1.0f;
+};
+
+// Q-learning learner actor ("QLearner") over a tabular Q function.
+class QLearner {
+ public:
+  int Init(int num_states, int num_actions, float gamma, float lr);
+  // One learning step over a sampled batch; returns the TD errors' absolute
+  // values (the new priorities for those samples).
+  std::vector<float> Learn(std::vector<Transition> batch);
+  std::vector<float> GetQ() { return q_; }
+  int StepsLearned() { return steps_; }
+
+ private:
+  float& Q(int s, int a) { return q_[static_cast<size_t>(s) * num_actions_ + a]; }
+
+  int num_states_ = 0;
+  int num_actions_ = 0;
+  float gamma_ = 0.99f;
+  float lr_ = 0.1f;
+  int steps_ = 0;
+  std::vector<float> q_;
+};
+
+// The exploration task ("apex_explore"): rolls out epsilon-greedy episodes
+// under the given Q table and returns the experience.
+std::vector<Transition> ApexExplore(std::vector<float> q, int num_states, int num_actions,
+                                    float epsilon, int episodes, uint64_t seed);
+
+void RegisterApexSupport(Cluster& cluster);
+
+struct ApexConfig {
+  int num_states = 10;
+  int num_workers = 4;
+  int iterations = 30;
+  int episodes_per_task = 4;
+  int sample_batch = 64;
+  float epsilon = 0.2f;
+  float gamma = 0.99f;
+  float lr = 0.2f;
+  int replay_capacity = 4096;
+  ResourceSet learner_resources = ResourceSet::Cpu(1);
+  ResourceSet replay_resources = ResourceSet::Cpu(1);
+};
+
+struct ApexReport {
+  std::vector<float> q;
+  double wall_seconds = 0.0;
+  int transitions_generated = 0;
+  int learn_steps = 0;
+};
+
+// Runs the full Ape-X loop: async exploration tasks feeding the replay
+// actor, the learner sampling concurrently, priorities flowing back.
+Result<ApexReport> RunApex(Ray ray, const ApexConfig& config);
+
+}  // namespace raylib
+}  // namespace ray
+
+#endif  // RAY_RAYLIB_REPLAY_H_

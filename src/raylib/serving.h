@@ -1,0 +1,54 @@
+// Embedded model serving (Section 5.2.2, Table 3). The policy lives in an
+// actor; clients co-located on the same node submit batches of states by
+// reference, so request payloads move through shared memory (zero-copy)
+// instead of a REST stack. The contrast baseline is
+// baselines::RestServingModel.
+#ifndef RAY_RAYLIB_SERVING_H_
+#define RAY_RAYLIB_SERVING_H_
+
+#include <memory>
+#include <vector>
+
+#include "raylib/nn.h"
+#include "runtime/api.h"
+
+namespace ray {
+namespace raylib {
+
+// Policy-serving actor ("PolicyServer").
+class PolicyServer {
+ public:
+  // extra_eval_us models accelerator time not captured by the CPU MLP (lets
+  // benches pin per-batch evaluation cost to the paper's 5ms/10ms).
+  int Init(std::vector<int> layer_sizes, int64_t extra_eval_us);
+
+  // Evaluates a batch: `states` is row-major [batch x state_dim]; returns
+  // [batch x action_dim] actions.
+  std::vector<float> Evaluate(std::vector<float> states, int batch);
+
+  int NumRequests() { return num_requests_; }
+
+ private:
+  std::unique_ptr<nn::Mlp> model_;
+  int64_t extra_eval_us_ = 0;
+  int num_requests_ = 0;
+};
+
+void RegisterServingSupport(Cluster& cluster);
+
+struct ServingStats {
+  double states_per_second = 0.0;
+  double mean_latency_ms = 0.0;
+  uint64_t total_states = 0;
+};
+
+// Drives `server` with back-to-back batches of `batch` states of
+// `state_dim` floats for `duration_seconds`; clients and server are
+// co-located as in the paper's embedded-serving setup.
+ServingStats DriveServing(Ray ray, ActorHandle& server, int state_dim, int batch,
+                          double duration_seconds, int num_clients = 1);
+
+}  // namespace raylib
+}  // namespace ray
+
+#endif  // RAY_RAYLIB_SERVING_H_

@@ -1,0 +1,263 @@
+#include "raylib/sgd.h"
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace ray {
+namespace raylib {
+
+int SgdWorker::Init(std::vector<int> layer_sizes, uint64_t seed, int batch, int num_shards,
+                    int64_t extra_compute_us) {
+  model_ = std::make_unique<nn::Mlp>(layer_sizes, seed);
+  rng_ = Rng(seed * 31 + 7);
+  batch_ = batch;
+  num_shards_ = num_shards;
+  extra_compute_us_ = extra_compute_us;
+  grad_.assign(model_->NumParams(), 0.0f);
+  return static_cast<int>(model_->NumParams());
+}
+
+std::pair<size_t, size_t> SgdWorker::ShardRange(int shard) const {
+  size_t total = model_->NumParams();
+  size_t per = total / num_shards_;
+  size_t begin = per * shard;
+  size_t end = (shard == num_shards_ - 1) ? total : begin + per;
+  return {begin, end};
+}
+
+std::pair<size_t, size_t> SgdWorker::ChunkRange(int c, int n) const {
+  size_t total = grad_.size();
+  size_t per = total / n;
+  size_t begin = per * c;
+  size_t end = (c == n - 1) ? total : begin + per;
+  return {begin, end};
+}
+
+int SgdWorker::SetParamsShard(int shard, std::vector<float> slice) {
+  auto [begin, end] = ShardRange(shard);
+  RAY_CHECK(slice.size() == end - begin) << "param shard size mismatch";
+  std::vector<float> params = model_->Params();
+  std::copy(slice.begin(), slice.end(), params.begin() + begin);
+  model_->SetParams(std::move(params));
+  return shard;
+}
+
+int SgdWorker::ComputeGrad() {
+  int in = model_->layer_sizes().front();
+  int out = model_->layer_sizes().back();
+  // Synthetic supervised batch: targets are a fixed projection of inputs so
+  // the loss is learnable (and the gradient nontrivial).
+  std::vector<float> inputs = rng_.NormalVector(static_cast<size_t>(batch_) * in);
+  std::vector<float> targets(static_cast<size_t>(batch_) * out);
+  for (int b = 0; b < batch_; ++b) {
+    for (int o = 0; o < out; ++o) {
+      targets[static_cast<size_t>(b) * out + o] = 0.5f * inputs[static_cast<size_t>(b) * in + o % in];
+    }
+  }
+  grad_ = model_->Gradient(inputs, targets, batch_);
+  if (extra_compute_us_ > 0) {
+    SleepMicros(extra_compute_us_);
+  }
+  return batch_;
+}
+
+std::vector<float> SgdWorker::GetGradShard(int shard) {
+  auto [begin, end] = ShardRange(shard);
+  return std::vector<float>(grad_.begin() + begin, grad_.begin() + end);
+}
+
+std::vector<float> SgdWorker::GetGradChunk(int c, int n) {
+  auto [begin, end] = ChunkRange(c, n);
+  return std::vector<float>(grad_.begin() + begin, grad_.begin() + end);
+}
+
+int SgdWorker::AccumGradChunk(int c, int n, std::vector<float> chunk) {
+  auto [begin, end] = ChunkRange(c, n);
+  RAY_CHECK(chunk.size() == end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    grad_[i] += chunk[i - begin];
+  }
+  return c;
+}
+
+int SgdWorker::SetGradChunk(int c, int n, std::vector<float> chunk) {
+  auto [begin, end] = ChunkRange(c, n);
+  RAY_CHECK(chunk.size() == end - begin);
+  std::copy(chunk.begin(), chunk.end(), grad_.begin() + begin);
+  return c;
+}
+
+int SgdWorker::ApplyReducedGrad(float lr, int num_workers) {
+  model_->AxpyParams(grad_, -lr / static_cast<float>(num_workers));
+  return 0;
+}
+
+std::vector<float> SgdWorker::GetParams() { return model_->Params(); }
+
+void RegisterSgdSupport(Cluster& cluster) {
+  RegisterParameterServerSupport(cluster);
+  cluster.RegisterActorClass<SgdWorker>("SgdWorker");
+  cluster.RegisterActorMethod("SgdWorker", "Init", &SgdWorker::Init);
+  cluster.RegisterActorMethod("SgdWorker", "SetParamsShard", &SgdWorker::SetParamsShard);
+  cluster.RegisterActorMethod("SgdWorker", "ComputeGrad", &SgdWorker::ComputeGrad);
+  cluster.RegisterActorMethod("SgdWorker", "GetGradShard", &SgdWorker::GetGradShard);
+  cluster.RegisterActorMethod("SgdWorker", "GetGradChunk", &SgdWorker::GetGradChunk);
+  cluster.RegisterActorMethod("SgdWorker", "AccumGradChunk", &SgdWorker::AccumGradChunk);
+  cluster.RegisterActorMethod("SgdWorker", "SetGradChunk", &SgdWorker::SetGradChunk);
+  cluster.RegisterActorMethod("SgdWorker", "ApplyReducedGrad", &SgdWorker::ApplyReducedGrad);
+  cluster.RegisterActorMethod("SgdWorker", "GetParams", &SgdWorker::GetParams);
+}
+
+DataParallelSgd::DataParallelSgd(Ray ray, const SgdConfig& config) : ray_(ray), config_(config) {
+  RAY_CHECK(!config_.worker_placements.empty());
+  int num_shards = config_.strategy == SyncStrategy::kParameterServer
+                       ? static_cast<int>(std::max<size_t>(1, config_.ps_placements.size()))
+                       : 1;
+  for (size_t i = 0; i < config_.worker_placements.size(); ++i) {
+    workers_.push_back(ray_.CreateActor("SgdWorker", config_.worker_placements[i]));
+    workers_.back().Call<int>("Init", config_.layer_sizes, static_cast<uint64_t>(100 + i),
+                              config_.batch, num_shards, config_.extra_compute_us);
+  }
+  if (config_.strategy == SyncStrategy::kParameterServer) {
+    nn::Mlp probe(config_.layer_sizes);
+    ps_ = std::make_unique<ShardedParameterServer>(ray_, static_cast<int>(probe.NumParams()),
+                                                   config_.ps_placements);
+  }
+}
+
+size_t DataParallelSgd::NumParams() const {
+  nn::Mlp probe(config_.layer_sizes);
+  return probe.NumParams();
+}
+
+Result<double> DataParallelSgd::Run(int iterations, int64_t timeout_us) {
+  switch (config_.strategy) {
+    case SyncStrategy::kParameterServer:
+      return RunParameterServer(iterations, timeout_us);
+    case SyncStrategy::kAllreduce:
+      return RunAllreduce(iterations, timeout_us);
+    case SyncStrategy::kCentralizedDriver:
+      return RunCentralized(iterations, timeout_us);
+  }
+  return Status::InvalidArgument("unknown strategy");
+}
+
+Result<double> DataParallelSgd::RunParameterServer(int iterations, int64_t timeout_us) {
+  int num_shards = ps_->num_shards();
+  float scale = -config_.lr / static_cast<float>(workers_.size());
+  Timer timer;
+  std::vector<ObjectRef<int>> last_acks;
+  for (int it = 0; it < iterations; ++it) {
+    // Each worker pulls the current shards; compute and push overlap across
+    // workers, and the shard actors' serial chains order pushes before the
+    // next iteration's pulls (the pipelining Fig. 13 relies on).
+    auto shard_refs = ps_->GetShardRefs();
+    last_acks.clear();
+    for (auto& worker : workers_) {
+      for (int j = 0; j < num_shards; ++j) {
+        worker.Call<int>("SetParamsShard", j, shard_refs[j]);
+      }
+      worker.Call<int>("ComputeGrad");
+      std::vector<ObjectRef<std::vector<float>>> grad_refs;
+      grad_refs.reserve(num_shards);
+      for (int j = 0; j < num_shards; ++j) {
+        grad_refs.push_back(worker.Call<std::vector<float>>("GetGradShard", j));
+      }
+      auto acks = ps_->Push(grad_refs, scale);
+      last_acks.insert(last_acks.end(), acks.begin(), acks.end());
+    }
+  }
+  for (auto& ack : last_acks) {
+    auto r = ray_.Get(ack, timeout_us);
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  double seconds = timer.ElapsedSeconds();
+  return static_cast<double>(iterations) * workers_.size() * config_.batch / seconds;
+}
+
+Result<double> DataParallelSgd::RunAllreduce(int iterations, int64_t timeout_us) {
+  int n = static_cast<int>(workers_.size());
+  RAY_CHECK(n >= 2) << "allreduce needs >= 2 workers";
+  Timer timer;
+  std::vector<ObjectRef<int>> last;
+  for (int it = 0; it < iterations; ++it) {
+    for (auto& worker : workers_) {
+      worker.Call<int>("ComputeGrad");
+    }
+    // Ring allreduce over gradient buffers (same schedule as Fig. 12a; all
+    // Gets of a round submitted before the Accums so the round parallelizes
+    // across the ring — see SubmitRingAllreduce).
+    std::vector<ObjectRef<std::vector<float>>> chunks(n);
+    for (int s = 0; s < n - 1; ++s) {
+      for (int i = 0; i < n; ++i) {
+        int c = ((i - s) % n + n) % n;
+        chunks[i] = workers_[i].Call<std::vector<float>>("GetGradChunk", c, n);
+      }
+      for (int i = 0; i < n; ++i) {
+        int c = ((i - s) % n + n) % n;
+        workers_[(i + 1) % n].Call<int>("AccumGradChunk", c, n, chunks[i]);
+      }
+    }
+    for (int s = 0; s < n - 1; ++s) {
+      for (int i = 0; i < n; ++i) {
+        int c = ((i + 1 - s) % n + n) % n;
+        chunks[i] = workers_[i].Call<std::vector<float>>("GetGradChunk", c, n);
+      }
+      for (int i = 0; i < n; ++i) {
+        int c = ((i + 1 - s) % n + n) % n;
+        workers_[(i + 1) % n].Call<int>("SetGradChunk", c, n, chunks[i]);
+      }
+    }
+    last.clear();
+    for (auto& worker : workers_) {
+      last.push_back(worker.Call<int>("ApplyReducedGrad", config_.lr, n));
+    }
+  }
+  for (auto& ack : last) {
+    auto r = ray_.Get(ack, timeout_us);
+    if (!r.ok()) {
+      return r.status();
+    }
+  }
+  double seconds = timer.ElapsedSeconds();
+  return static_cast<double>(iterations) * n * config_.batch / seconds;
+}
+
+Result<double> DataParallelSgd::RunCentralized(int iterations, int64_t timeout_us) {
+  // Anti-pattern baseline: the driver gathers every full gradient, sums
+  // them, and broadcasts full parameters — all bytes funnel through one
+  // process, so throughput flattens as workers are added.
+  size_t num_params = NumParams();
+  nn::Mlp model(config_.layer_sizes, 100);
+  Timer timer;
+  for (int it = 0; it < iterations; ++it) {
+    auto params_ref = ray_.Put(model.Params());
+    std::vector<ObjectRef<int>> set_acks;
+    for (auto& worker : workers_) {
+      worker.Call<int>("SetParamsShard", 0, params_ref);
+      worker.Call<int>("ComputeGrad");
+    }
+    std::vector<ObjectRef<std::vector<float>>> grads;
+    for (auto& worker : workers_) {
+      grads.push_back(worker.Call<std::vector<float>>("GetGradShard", 0));
+    }
+    std::vector<float> sum(num_params, 0.0f);
+    for (auto& gref : grads) {
+      auto g = ray_.Get(gref, timeout_us);
+      if (!g.ok()) {
+        return g.status();
+      }
+      for (size_t i = 0; i < num_params; ++i) {
+        sum[i] += (*g)[i];
+      }
+    }
+    model.ApplyGradient(sum, config_.lr / static_cast<float>(workers_.size()));
+  }
+  double seconds = timer.ElapsedSeconds();
+  return static_cast<double>(iterations) * workers_.size() * config_.batch / seconds;
+}
+
+}  // namespace raylib
+}  // namespace ray

@@ -1,0 +1,91 @@
+// Data-parallel synchronous SGD on Ray actors (Section 5.2.1, Fig. 13).
+// Model replicas are actors; weights synchronize either through a sharded
+// parameter server, through a ring allreduce of gradients (the Horovod
+// strategy), or through a naive centralized driver (the scaling anti-pattern
+// the decentralized designs beat). Gradient computation is a real MLP
+// backward pass, so the compute/communication ratio is meaningful.
+#ifndef RAY_RAYLIB_SGD_H_
+#define RAY_RAYLIB_SGD_H_
+
+#include <vector>
+
+#include "raylib/nn.h"
+#include "raylib/ps.h"
+#include "runtime/api.h"
+
+namespace ray {
+namespace raylib {
+
+// Model-replica actor. Registered as class "SgdWorker".
+class SgdWorker {
+ public:
+  // `extra_compute_us` simulates accelerator time per ComputeGrad call on
+  // machines where real parallel compute is unavailable.
+  int Init(std::vector<int> layer_sizes, uint64_t seed, int batch, int num_shards,
+           int64_t extra_compute_us);
+
+  int SetParamsShard(int shard, std::vector<float> slice);
+  // Runs one forward+backward pass on a fresh synthetic batch; returns the
+  // number of samples processed.
+  int ComputeGrad();
+  std::vector<float> GetGradShard(int shard);
+
+  // --- allreduce-strategy surface (ring over the gradient buffer) ---
+  std::vector<float> GetGradChunk(int c, int n);
+  int AccumGradChunk(int c, int n, std::vector<float> chunk);
+  int SetGradChunk(int c, int n, std::vector<float> chunk);
+  // params -= lr * grad / num_workers, applied locally after the allreduce.
+  int ApplyReducedGrad(float lr, int num_workers);
+
+  std::vector<float> GetParams();
+
+ private:
+  std::pair<size_t, size_t> ShardRange(int shard) const;
+  std::pair<size_t, size_t> ChunkRange(int c, int n) const;
+
+  std::unique_ptr<nn::Mlp> model_;
+  std::vector<float> grad_;
+  Rng rng_{0};
+  int batch_ = 0;
+  int num_shards_ = 1;
+  int64_t extra_compute_us_ = 0;
+};
+
+void RegisterSgdSupport(Cluster& cluster);
+
+enum class SyncStrategy { kParameterServer, kAllreduce, kCentralizedDriver };
+
+struct SgdConfig {
+  std::vector<int> layer_sizes = {128, 256, 128, 16};
+  int batch = 16;
+  float lr = 0.01f;
+  int64_t extra_compute_us = 0;  // simulated accelerator time per gradient
+  std::vector<ResourceSet> worker_placements;  // one model replica each
+  std::vector<ResourceSet> ps_placements;      // parameter-server shards
+  SyncStrategy strategy = SyncStrategy::kParameterServer;
+};
+
+class DataParallelSgd {
+ public:
+  DataParallelSgd(Ray ray, const SgdConfig& config);
+
+  // Runs `iterations` synchronized steps; returns samples processed per
+  // second (the paper's images/sec).
+  Result<double> Run(int iterations, int64_t timeout_us = 300'000'000);
+
+ private:
+  Result<double> RunParameterServer(int iterations, int64_t timeout_us);
+  Result<double> RunAllreduce(int iterations, int64_t timeout_us);
+  Result<double> RunCentralized(int iterations, int64_t timeout_us);
+  size_t NumParams() const;
+
+  Ray ray_;
+  SgdConfig config_;
+  std::vector<ActorHandle> workers_;
+  std::unique_ptr<ShardedParameterServer> ps_;
+};
+
+}  // namespace raylib
+}  // namespace ray
+
+#endif  // RAY_RAYLIB_SGD_H_

@@ -1,0 +1,159 @@
+#include "runtime/api.h"
+
+#include "common/clock.h"
+
+namespace ray {
+
+namespace {
+// How long one store-level blocking get runs before we re-check whether the
+// object needs reconstruction.
+constexpr int64_t kGetSliceUs = 100'000;
+}  // namespace
+
+Ray Ray::Current() {
+  const ExecutionContext* ctx = CurrentExecutionContext();
+  RAY_CHECK(ctx != nullptr) << "Ray::Current() called outside task execution";
+  return Ray(ctx->cluster, ctx->node);
+}
+
+NodeId Ray::SubmitterNode() const {
+  const ExecutionContext* ctx = CurrentExecutionContext();
+  if (ctx != nullptr && ctx->cluster == cluster_) {
+    return ctx->node;
+  }
+  return home_;
+}
+
+TaskSpec Ray::MakeSpecBase(const std::string& function, const ResourceSet& resources) const {
+  TaskSpec spec;
+  spec.id = TaskId::FromRandom();
+  spec.function_name = function;
+  spec.resources = resources;
+  const ExecutionContext* ctx = CurrentExecutionContext();
+  if (ctx != nullptr && ctx->cluster == cluster_) {
+    spec.parent = ctx->current_task;  // control edge
+  }
+  return spec;
+}
+
+void Ray::HomeStorePut(const ObjectId& id, BufferPtr buffer) {
+  Node* node = cluster_->FindNode(home_);
+  RAY_CHECK(node != nullptr && node->IsAlive()) << "home node is dead";
+  node->store().Put(id, std::move(buffer));
+}
+
+Result<BufferPtr> Ray::GetBuffer(const ObjectId& id, int64_t timeout_us) {
+  Node* node = cluster_->FindNode(home_);
+  if (node == nullptr || !node->IsAlive()) {
+    return Status::NodeDead("home node is dead");
+  }
+  int64_t deadline = timeout_us < 0 ? -1 : NowMicros() + timeout_us;
+  for (;;) {
+    int64_t slice = kGetSliceUs;
+    if (deadline >= 0) {
+      slice = std::min<int64_t>(slice, deadline - NowMicros());
+      if (slice <= 0) {
+        return Status::TimedOut("ray.get timed out");
+      }
+    }
+    auto r = node->store().Get(id, slice);
+    if (r.ok()) {
+      return r;
+    }
+    // The object is not local and did not arrive within the slice. If no
+    // live replica exists anywhere and its producer is not in flight on a
+    // healthy node, trigger lineage reconstruction (Section 4.2.3).
+    auto entry = cluster_->tables().objects.GetLocations(id);
+    bool live_copy = false;
+    if (entry.ok()) {
+      for (const NodeId& loc : entry->locations) {
+        if (!cluster_->net().IsDead(loc)) {
+          live_copy = true;
+          break;
+        }
+      }
+    }
+    if (live_copy) {
+      continue;  // a fetch will succeed shortly
+    }
+    auto task_id = cluster_->tables().objects.GetCreatingTask(id);
+    if (!task_id.ok()) {
+      if (entry.ok() && !entry->locations.empty()) {
+        // A put object whose only replicas died with their nodes.
+        return Status::ObjectLost("object has no lineage and no live replica");
+      }
+      continue;  // nothing known yet; keep waiting
+    }
+    // ReconstructObject decides what (if anything) needs resubmitting: it
+    // skips tasks already in flight on healthy nodes but still walks their
+    // dependencies, covering producers that died before publishing.
+    cluster_->ReconstructObject(id);
+  }
+}
+
+std::vector<size_t> Ray::Wait(const std::vector<ObjectId>& ids, size_t num_ready,
+                              int64_t timeout_us) {
+  Node* node = cluster_->FindNode(home_);
+  RAY_CHECK(node != nullptr) << "home node unknown";
+  int64_t deadline = timeout_us < 0 ? -1 : NowMicros() + timeout_us;
+  num_ready = std::min(num_ready, ids.size());
+  std::vector<bool> ready(ids.size(), false);
+  size_t count = 0;
+  for (;;) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ready[i]) {
+        continue;
+      }
+      bool available = node->IsAlive() && node->store().ContainsLocal(ids[i]);
+      if (!available) {
+        auto entry = cluster_->tables().objects.GetLocations(ids[i]);
+        if (entry.ok()) {
+          for (const NodeId& loc : entry->locations) {
+            if (!cluster_->net().IsDead(loc)) {
+              available = true;
+              break;
+            }
+          }
+        }
+      }
+      if (available) {
+        ready[i] = true;
+        ++count;
+      }
+    }
+    if (count >= num_ready || (deadline >= 0 && NowMicros() >= deadline)) {
+      break;
+    }
+    SleepMicros(200);
+  }
+  std::vector<size_t> result;
+  result.reserve(count);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ready[i]) {
+      result.push_back(i);
+    }
+  }
+  return result;
+}
+
+ActorHandle Ray::CreateActor(const std::string& class_name, const ResourceSet& resources) {
+  TaskSpec spec;
+  spec.id = TaskId::FromRandom();
+  spec.function_name = "__actor_create__:" + class_name;
+  spec.actor = ActorId::FromRandom();
+  spec.is_actor_creation = true;
+  spec.actor_class = class_name;
+  spec.resources = resources;
+  const ExecutionContext* ctx = CurrentExecutionContext();
+  if (ctx != nullptr && ctx->cluster == cluster_) {
+    spec.parent = ctx->current_task;
+  }
+  // The creation spec is durable so the actor can be re-created after a
+  // failure (Section 4.2.3: lineage covers stateful actors too).
+  cluster_->tables().actors.RegisterActor(spec.actor, spec.Serialize());
+  Status s = cluster_->SubmitTask(spec, SubmitterNode());
+  RAY_CHECK(s.ok()) << "actor creation failed: " << s.ToString();
+  return ActorHandle(cluster_, home_, spec.actor, class_name, spec.ReturnId(0));
+}
+
+}  // namespace ray

@@ -1,0 +1,232 @@
+// The Ray API (Table 1 of the paper), typed for C++:
+//
+//   ray.Call<R>("f", a, b)           -> ObjectRef<R>     (f.remote(args))
+//   ray.Get(ref)                     -> Result<R>        (ray.get)
+//   ray.Wait(ids, k, timeout)        -> ready indices    (ray.wait)
+//   ray.Put(v)                       -> ObjectRef<V>
+//   ray.CreateActor("Cls", res)      -> ActorHandle      (Class.remote())
+//   handle.Call<R>("method", args)   -> ObjectRef<R>     (actor.method.remote)
+//
+// All submissions are non-blocking with respect to execution (they return
+// futures); Get/Wait block. A Ray handle is bound to a home node, which is
+// where its puts land and where gets are served from; code running inside a
+// task can obtain a handle bound to its executing node via Ray::Current()
+// (nested remote functions, Section 3.1).
+#ifndef RAY_RUNTIME_API_H_
+#define RAY_RUNTIME_API_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/serialization.h"
+#include "runtime/cluster.h"
+#include "runtime/object_ref.h"
+
+namespace ray {
+
+class ActorHandle;
+
+class Ray {
+ public:
+  Ray(Cluster* cluster, const NodeId& home) : cluster_(cluster), home_(home) {}
+
+  static Ray OnNode(Cluster& cluster, size_t node_index) {
+    return Ray(&cluster, cluster.node(node_index).id());
+  }
+
+  // The Ray handle for the task executing on this thread. Fatal if called
+  // from a non-worker thread.
+  static Ray Current();
+
+  // --- data plane ---
+  template <typename T>
+  ObjectRef<T> Put(const T& value) {
+    ObjectId id = ObjectId::FromRandom();
+    HomeStorePut(id, SerializeValue(value));
+    return ObjectRef<T>(id);
+  }
+
+  // Untyped get; drives reconstruction if the object was lost (Fig. 11a).
+  Result<BufferPtr> GetBuffer(const ObjectId& id, int64_t timeout_us = -1);
+
+  template <typename T>
+  Result<T> Get(const ObjectRef<T>& ref, int64_t timeout_us = -1) {
+    auto buf = GetBuffer(ref.id(), timeout_us);
+    if (!buf.ok()) {
+      return buf.status();
+    }
+    return DeserializeValue<T>(**buf);
+  }
+
+  template <typename T>
+  Result<std::vector<T>> GetAll(const std::vector<ObjectRef<T>>& refs, int64_t timeout_us = -1) {
+    std::vector<T> values;
+    values.reserve(refs.size());
+    for (const auto& ref : refs) {
+      auto v = Get(ref, timeout_us);
+      if (!v.ok()) {
+        return v.status();
+      }
+      values.push_back(std::move(*v));
+    }
+    return values;
+  }
+
+  // ray.wait(ids, k, timeout): indices of objects that are available (their
+  // task has completed somewhere) as soon as k are, or the timeout expires.
+  std::vector<size_t> Wait(const std::vector<ObjectId>& ids, size_t num_ready,
+                           int64_t timeout_us = -1);
+
+  template <typename T>
+  std::vector<size_t> Wait(const std::vector<ObjectRef<T>>& refs, size_t num_ready,
+                           int64_t timeout_us = -1) {
+    std::vector<ObjectId> ids;
+    ids.reserve(refs.size());
+    for (const auto& r : refs) {
+      ids.push_back(r.id());
+    }
+    return Wait(ids, num_ready, timeout_us);
+  }
+
+  // --- task submission ---
+  template <typename R, typename... Args>
+  ObjectRef<R> Call(const std::string& function, Args&&... args) {
+    return CallWithResources<R>(function, ResourceSet{}, std::forward<Args>(args)...);
+  }
+
+  template <typename R, typename... Args>
+  ObjectRef<R> CallWithResources(const std::string& function, const ResourceSet& resources,
+                                 Args&&... args) {
+    TaskSpec spec = MakeSpecBase(function, resources);
+    spec.args = {MakeArg(std::forward<Args>(args))...};
+    Status s = cluster_->SubmitTask(spec, SubmitterNode());
+    RAY_CHECK(s.ok()) << "task submission failed: " << s.ToString();
+    return ObjectRef<R>(spec.ReturnId(0));
+  }
+
+  // Two-output submission: returns one future per element of the pair
+  // ("f.remote() ... returns one or more futures", Table 1).
+  template <typename R1, typename R2, typename... Args>
+  std::pair<ObjectRef<R1>, ObjectRef<R2>> Call2(const std::string& function, Args&&... args) {
+    TaskSpec spec = MakeSpecBase(function, ResourceSet{});
+    spec.args = {MakeArg(std::forward<Args>(args))...};
+    spec.num_returns = 2;
+    Status s = cluster_->SubmitTask(spec, SubmitterNode());
+    RAY_CHECK(s.ok()) << "task submission failed: " << s.ToString();
+    return {ObjectRef<R1>(spec.ReturnId(0)), ObjectRef<R2>(spec.ReturnId(1))};
+  }
+
+  // --- actors ---
+  ActorHandle CreateActor(const std::string& class_name,
+                          const ResourceSet& resources = ResourceSet::Cpu(1));
+
+  Cluster& cluster() { return *cluster_; }
+  const NodeId& home() const { return home_; }
+
+ private:
+  friend class ActorHandle;
+
+  template <typename A>
+  static TaskArg MakeArg(A&& a) {
+    using D = std::decay_t<A>;
+    if constexpr (detail::IsObjectRef<D>::value) {
+      return TaskArg::ByRef(a.id());
+    } else {
+      return TaskArg::ByValue(SerializeValue(static_cast<const D&>(a))->ToString());
+    }
+  }
+
+  TaskSpec MakeSpecBase(const std::string& function, const ResourceSet& resources) const;
+  // The node tasks are submitted from: the executing node when called inside
+  // a task (bottom-up nested submission), else this handle's home node.
+  NodeId SubmitterNode() const;
+  void HomeStorePut(const ObjectId& id, BufferPtr buffer);
+
+  Cluster* cluster_;
+  NodeId home_;
+};
+
+// Handle to a remote actor. Copyable — and passable into tasks and other
+// actors as an ordinary argument (Section 3.1): chain indices are allocated
+// from a GCS counter, so every copy anywhere in the cluster extends the same
+// stateful-edge chain.
+class ActorHandle {
+ public:
+  ActorHandle() = default;
+
+  const ActorId& id() const { return id_; }
+  // Future that resolves once the actor instance has been constructed.
+  const ObjectId& creation_future() const { return creation_future_; }
+
+  template <typename R, typename... Args>
+  ObjectRef<R> Call(const std::string& method, Args&&... args) {
+    RAY_CHECK(cluster_ != nullptr) << "calling through a default-constructed ActorHandle";
+    TaskSpec spec;
+    spec.id = TaskId::FromRandom();
+    spec.function_name = method;
+    spec.args = {Ray::MakeArg(std::forward<Args>(args))...};
+    spec.actor = id_;
+    const ActorClass* cls = cluster_->actor_classes().Lookup(class_name_);
+    RAY_CHECK(cls != nullptr) << "unknown actor class " << class_name_;
+    auto mit = cls->methods.find(method);
+    RAY_CHECK(mit != cls->methods.end()) << "unknown method " << method;
+    if (mit->second.read_only) {
+      // Snapshot semantics: depend on the chain's current cursor without
+      // advancing it; not logged for replay (Section 5.1's annotation).
+      spec.actor_method_read_only = true;
+      spec.actor_call_index = cluster_->tables().actors.CurrentCallIndex(id_);
+    } else {
+      auto index = cluster_->tables().actors.NextCallIndex(id_);  // 1-based chain
+      RAY_CHECK(index.ok()) << "chain index allocation failed: " << index.status().ToString();
+      spec.actor_call_index = *index;
+    }
+    const ExecutionContext* ctx = CurrentExecutionContext();
+    if (ctx != nullptr && ctx->cluster == cluster_) {
+      spec.parent = ctx->current_task;
+    }
+    NodeId from = (ctx != nullptr && ctx->cluster == cluster_) ? ctx->node : home_;
+    Status s = cluster_->SubmitTask(spec, from);
+    RAY_CHECK(s.ok()) << "actor method submission failed: " << s.ToString();
+    return ObjectRef<R>(spec.ReturnId(0));
+  }
+
+  // Handles serialize by identity: a deserialized handle rebinds to the
+  // executing task's cluster and node. Only valid inside task execution.
+  void SerializeTo(Writer& w) const {
+    Put(w, id_.Binary());
+    Put(w, class_name_);
+  }
+  static ActorHandle DeserializeFrom(Reader& r) {
+    const ExecutionContext* ctx = CurrentExecutionContext();
+    RAY_CHECK(ctx != nullptr) << "actor handles can only be deserialized inside task execution";
+    ActorHandle handle;
+    handle.cluster_ = ctx->cluster;
+    handle.home_ = ctx->node;
+    handle.id_ = ActorId::FromBinary(Take<std::string>(r));
+    handle.class_name_ = Take<std::string>(r);
+    return handle;
+  }
+
+ private:
+  friend class Ray;
+  ActorHandle(Cluster* cluster, const NodeId& home, const ActorId& id, std::string class_name,
+              const ObjectId& creation_future)
+      : cluster_(cluster),
+        home_(home),
+        id_(id),
+        class_name_(std::move(class_name)),
+        creation_future_(creation_future) {}
+
+  Cluster* cluster_ = nullptr;
+  NodeId home_;
+  ActorId id_;
+  std::string class_name_;
+  ObjectId creation_future_;
+};
+
+}  // namespace ray
+
+#endif  // RAY_RUNTIME_API_H_

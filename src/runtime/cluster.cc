@@ -1,0 +1,380 @@
+#include "runtime/cluster.h"
+
+#include <deque>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace ray {
+
+namespace {
+constexpr int64_t kActorRouteTimeoutUs = 30'000'000;
+constexpr int64_t kActorRecoveryTimeoutUs = 30'000'000;
+}  // namespace
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  gcs_ = std::make_unique<gcs::Gcs>(config_.gcs);
+  // Lineage (task specs/states) is the cold data that GCS flushing targets
+  // (Fig. 10b); object locations stay hot in memory.
+  gcs_->AddFlushablePrefix("task:");
+  tables_ = std::make_unique<gcs::GcsTables>(gcs_.get());
+  net_ = std::make_unique<SimNetwork>(config_.net);
+  global_ = std::make_unique<GlobalSchedulerPool>(config_.num_global_schedulers, tables_.get(),
+                                                  net_.get(), &registry_, config_.global);
+  if (config_.build_task_graph) {
+    task_graph_ = std::make_unique<TaskGraph>();
+  }
+  rt_.cluster = this;
+  rt_.gcs = gcs_.get();
+  rt_.tables = tables_.get();
+  rt_.net = net_.get();
+  rt_.registry = &registry_;
+  rt_.global = global_.get();
+  rt_.functions = &functions_;
+  rt_.actor_classes = &actor_classes_;
+  rt_.reconstruct_object = [this](const ObjectId& object) { ReconstructObject(object); };
+  rt_.actor_checkpoint_interval = config_.actor_checkpoint_interval;
+
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    AddNodeInternal(config_.scheduler);
+  }
+}
+
+Cluster::~Cluster() {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  nodes_.clear();  // Node destructors drain gracefully
+}
+
+NodeId Cluster::AddNodeInternal(const LocalSchedulerConfig& scheduler_config) {
+  auto node = std::make_unique<Node>(&rt_, scheduler_config, config_.store);
+  NodeId id = node->id();
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    nodes_.push_back(std::move(node));
+  }
+  Node* raw;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    raw = nodes_.back().get();
+  }
+  raw->Start();
+  raw->store().SetPeerResolver([this](const NodeId& peer) {
+    Node* n = FindNode(peer);
+    return n != nullptr && n->IsAlive() ? &n->store() : nullptr;
+  });
+  return id;
+}
+
+NodeId Cluster::AddNode() { return AddNodeInternal(config_.scheduler); }
+
+NodeId Cluster::AddNodeWithResources(const ResourceSet& resources) {
+  LocalSchedulerConfig cfg = config_.scheduler;
+  cfg.total_resources = resources;
+  return AddNodeInternal(cfg);
+}
+
+size_t Cluster::NumNodes() const {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  return nodes_.size();
+}
+
+Node& Cluster::node(size_t index) {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  RAY_CHECK(index < nodes_.size());
+  return *nodes_[index];
+}
+
+Node* Cluster::FindNode(const NodeId& id) {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  for (const auto& node : nodes_) {
+    if (node->id() == id) {
+      return node.get();
+    }
+  }
+  return nullptr;
+}
+
+void Cluster::KillNode(size_t index) { node(index).Kill(); }
+
+void Cluster::KillNode(const NodeId& id) {
+  Node* n = FindNode(id);
+  if (n != nullptr) {
+    n->Kill();
+  }
+}
+
+void Cluster::RecordLineage(const TaskSpec& spec, const NodeId& submitter) {
+  tables_->tasks.AddTask(spec.id, spec.Serialize());
+  tables_->tasks.SetState(spec.id, gcs::TaskState::kPending, submitter);
+  for (uint32_t i = 0; i < spec.num_returns; ++i) {
+    tables_->objects.RecordCreatingTask(spec.ReturnId(i), spec.id);
+  }
+  if (spec.IsActorCreation() || (spec.IsActorTask() && !spec.actor_method_read_only)) {
+    tables_->objects.RecordCreatingTask(spec.ResultCursor(), spec.id);
+  }
+  if (spec.IsActorTask() && !spec.actor_method_read_only) {
+    tables_->actors.AppendMethod(spec.actor, spec.id);
+  }
+  if (task_graph_) {
+    task_graph_->AddTask(spec);
+  }
+}
+
+Status Cluster::SubmitTask(const TaskSpec& spec, const NodeId& from) {
+  RecordLineage(spec, from);
+  if (spec.IsActorTask()) {
+    return RouteActorTask(spec, from);
+  }
+  LocalScheduler* local = registry_.Lookup(from);
+  if (local == nullptr) {
+    // Submitter's node is gone; fall back to global placement.
+    return global_->Schedule(spec, from);
+  }
+  return local->Submit(spec);
+}
+
+Status Cluster::RouteActorTask(const TaskSpec& spec, const NodeId& from) {
+  int64_t deadline = NowMicros() + kActorRouteTimeoutUs;
+  while (NowMicros() < deadline) {
+    auto loc = tables_->actors.GetLocation(spec.actor);
+    if (loc.ok()) {
+      if (net_->IsDead(*loc) || registry_.Lookup(*loc) == nullptr) {
+        RecoverActor(spec.actor);
+      } else {
+        // Charged as a scheduler hop so injected scheduling latency
+        // (Fig. 12b ablation) applies to every method submission.
+        RAY_RETURN_NOT_OK(net_->SchedulerHop(from, *loc));
+        LocalScheduler* target = registry_.Lookup(*loc);
+        if (target == nullptr) {
+          continue;  // died in the window; retry
+        }
+        target->SubmitPlaced(spec);
+        return Status::Ok();
+      }
+    }
+    // Creation or recovery still in flight.
+    SleepMicros(500);
+  }
+  return Status::TimedOut("actor has no live location");
+}
+
+void Cluster::ReconstructObject(const ObjectId& object) {
+  // Iterative worklist: rebuilding an object may require rebuilding the
+  // producers of its inputs (linear chains in Fig. 11a).
+  std::deque<ObjectId> work{object};
+  while (!work.empty()) {
+    ObjectId obj = work.front();
+    work.pop_front();
+
+    auto task_id = tables_->objects.GetCreatingTask(obj);
+    if (!task_id.ok()) {
+      // No lineage: a ray::Put object. If every replica is dead this is
+      // genuinely unrecoverable.
+      RAY_LOG(WARNING) << "object " << ToShortString(obj) << " has no lineage; cannot reconstruct";
+      continue;
+    }
+    auto spec_bytes = tables_->tasks.GetSpec(*task_id);
+    if (!spec_bytes.ok()) {
+      continue;
+    }
+    TaskSpec spec = TaskSpec::Deserialize(*spec_bytes);
+    if (spec.IsActorTask() && spec.actor_method_read_only) {
+      // Snapshot methods re-execute against the actor's current state. The
+      // original snapshot cursor may predate a recovery (and no longer have
+      // a live copy), so rebase onto the chain's current position.
+      {
+        std::lock_guard<std::mutex> lock(reconstruct_mu_);
+        if (!reconstructing_.insert(spec.id).second) {
+          continue;
+        }
+      }
+      spec.actor_call_index = tables_->actors.CurrentCallIndex(spec.actor);
+      Status s = RouteActorTask(spec, NodeId());
+      if (!s.ok()) {
+        RAY_LOG(WARNING) << "read-only method re-execution failed: " << s.ToString();
+      }
+      {
+        std::lock_guard<std::mutex> lock(reconstruct_mu_);
+        reconstructing_.erase(spec.id);
+      }
+      continue;
+    }
+    if (!spec.actor.IsNil()) {
+      RecoverActor(spec.actor);
+      continue;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(reconstruct_mu_);
+      if (!reconstructing_.insert(spec.id).second) {
+        continue;  // another thread is resubmitting this task right now
+      }
+    }
+    bool resubmit = true;
+    auto state = tables_->tasks.GetState(spec.id);
+    if (state.ok()) {
+      auto [st, node] = *state;
+      bool node_alive = !net_->IsDead(node) && registry_.Lookup(node) != nullptr;
+      if ((st == gcs::TaskState::kPending || st == gcs::TaskState::kRunning) && node_alive) {
+        resubmit = false;  // already in flight somewhere healthy
+      }
+    }
+    // Inputs whose replicas are all gone must be rebuilt regardless of
+    // whether this task itself needs resubmission: an in-flight consumer may
+    // be waiting on a producer that died before publishing any location, and
+    // nothing else in the system can notice that silently-lost ancestor.
+    for (const ObjectId& dep : spec.Dependencies()) {
+      auto entry = tables_->objects.GetLocations(dep);
+      bool live_copy = false;
+      if (entry.ok()) {
+        for (const NodeId& loc : entry->locations) {
+          if (!net_->IsDead(loc)) {
+            live_copy = true;
+            break;
+          }
+        }
+      }
+      if (!live_copy) {
+        work.push_back(dep);
+      }
+    }
+    if (resubmit) {
+      Status s = global_->Schedule(spec, NodeId());
+      if (!s.ok()) {
+        RAY_LOG(WARNING) << "reconstruction resubmit failed for task " << ToShortString(spec.id)
+                         << ": " << s.ToString();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(reconstruct_mu_);
+      reconstructing_.erase(spec.id);
+    }
+  }
+}
+
+size_t Cluster::CollectLineage(const std::vector<ObjectId>& objects, bool transitive) {
+  size_t collected = 0;
+  std::deque<ObjectId> work(objects.begin(), objects.end());
+  std::unordered_set<TaskId> seen;
+  while (!work.empty()) {
+    ObjectId obj = work.front();
+    work.pop_front();
+    auto task_id = tables_->objects.GetCreatingTask(obj);
+    if (!task_id.ok() || !seen.insert(*task_id).second) {
+      continue;
+    }
+    auto spec_bytes = tables_->tasks.GetSpec(*task_id);
+    if (!spec_bytes.ok()) {
+      continue;
+    }
+    auto state = tables_->tasks.GetState(*task_id);
+    if (!state.ok() || state->first != gcs::TaskState::kDone) {
+      continue;  // in flight (or lost): its lineage is still load-bearing
+    }
+    TaskSpec spec = TaskSpec::Deserialize(*spec_bytes);
+    if (transitive) {
+      for (const ObjectId& dep : spec.Dependencies()) {
+        work.push_back(dep);
+      }
+    }
+    // Drop the spec, the state record, and the object->task links. After
+    // this the objects are exactly as durable as their replicas.
+    gcs_->Delete(gcs::TaskTable::kSpecPrefix + spec.id.Binary());
+    gcs_->Delete("task:state:" + spec.id.Binary());
+    for (uint32_t i = 0; i < spec.num_returns; ++i) {
+      gcs_->Delete("obj:task:" + spec.ReturnId(i).Binary());
+    }
+    if (!spec.actor.IsNil()) {
+      gcs_->Delete("obj:task:" + spec.ResultCursor().Binary());
+    }
+    ++collected;
+  }
+  return collected;
+}
+
+void Cluster::RecoverActor(const ActorId& actor) {
+  {
+    std::lock_guard<std::mutex> lock(actor_recovery_mu_);
+    if (!actors_recovering_.insert(actor).second) {
+      return;  // recovery already in progress
+    }
+  }
+  auto cleanup = [this, &actor] {
+    std::lock_guard<std::mutex> lock(actor_recovery_mu_);
+    actors_recovering_.erase(actor);
+  };
+
+  auto loc = tables_->actors.GetLocation(actor);
+  if (!loc.ok()) {
+    // Never created (creation still in flight): nothing to recover.
+    cleanup();
+    return;
+  }
+  if (!net_->IsDead(*loc) && registry_.Lookup(*loc) != nullptr) {
+    cleanup();
+    return;  // already healthy (recovered by someone else)
+  }
+
+  auto spec_bytes = tables_->actors.GetCreationSpec(actor);
+  if (!spec_bytes.ok()) {
+    RAY_LOG(ERROR) << "actor " << ToShortString(actor) << " has no creation spec; cannot recover";
+    cleanup();
+    return;
+  }
+  TaskSpec creation = TaskSpec::Deserialize(*spec_bytes);
+  uint64_t checkpoint_index = 0;
+  if (auto ckpt = tables_->actors.GetCheckpoint(actor); ckpt.ok()) {
+    checkpoint_index = ckpt->call_index;
+  }
+  RAY_LOG(INFO) << "recovering actor " << ToShortString(actor) << " from checkpoint index "
+                << checkpoint_index;
+
+  // Re-run the creation task; it restores the checkpoint and re-seals the
+  // cursor at checkpoint_index on the new node.
+  Status s = global_->Schedule(creation, NodeId());
+  if (!s.ok()) {
+    RAY_LOG(ERROR) << "actor recovery placement failed: " << s.ToString();
+    cleanup();
+    return;
+  }
+  // Wait for the new location to become live.
+  NodeId new_node;
+  int64_t deadline = NowMicros() + kActorRecoveryTimeoutUs;
+  for (;;) {
+    auto nloc = tables_->actors.GetLocation(actor);
+    if (nloc.ok() && !net_->IsDead(*nloc) && registry_.Lookup(*nloc) != nullptr) {
+      new_node = *nloc;
+      break;
+    }
+    if (NowMicros() > deadline) {
+      RAY_LOG(ERROR) << "actor recovery timed out waiting for relocation";
+      cleanup();
+      return;
+    }
+    SleepMicros(500);
+  }
+
+  // Replay the method log past the checkpoint (Fig. 11b).
+  LocalScheduler* target = registry_.Lookup(new_node);
+  auto log = tables_->actors.GetMethodLog(actor);
+  size_t replayed = 0;
+  if (log.ok() && target != nullptr) {
+    for (const TaskId& task : *log) {
+      auto method_bytes = tables_->tasks.GetSpec(task);
+      if (!method_bytes.ok()) {
+        continue;
+      }
+      TaskSpec method = TaskSpec::Deserialize(*method_bytes);
+      if (method.actor_call_index <= checkpoint_index) {
+        continue;  // state already covered by the checkpoint
+      }
+      target->SubmitPlaced(method);
+      ++replayed;
+    }
+  }
+  RAY_LOG(INFO) << "actor " << ToShortString(actor) << " recovered on node "
+                << ToShortString(new_node) << ", replaying " << replayed << " methods";
+  cleanup();
+}
+
+}  // namespace ray

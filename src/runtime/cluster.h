@@ -1,0 +1,149 @@
+// The whole system in one object: GCS, simulated network, global scheduler
+// replicas, and N nodes. Also home of lineage-based fault tolerance — object
+// reconstruction (re-execute the creating task, recursively) and actor
+// recovery (re-create on a live node, restore the last checkpoint, replay
+// the method log past it). Both walk only GCS state, which is what makes
+// every other component stateless and restartable (Section 4.2.1).
+#ifndef RAY_RUNTIME_CLUSTER_H_
+#define RAY_RUNTIME_CLUSTER_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "gcs/gcs.h"
+#include "gcs/tables.h"
+#include "net/sim_network.h"
+#include "runtime/context.h"
+#include "runtime/node.h"
+#include "scheduler/global_scheduler.h"
+#include "task/task_graph.h"
+
+namespace ray {
+
+struct ClusterConfig {
+  int num_nodes = 2;
+  LocalSchedulerConfig scheduler;  // template applied to every node
+  ObjectStoreConfig store;
+  gcs::GcsConfig gcs;
+  NetConfig net;
+  GlobalSchedulerConfig global;
+  int num_global_schedulers = 1;
+  uint64_t actor_checkpoint_interval = 0;
+  // Mirror every submitted task into an in-memory TaskGraph (debug tooling;
+  // off by default as it is global-lock-shared state).
+  bool build_task_graph = false;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  size_t NumNodes() const;
+  Node& node(size_t index);
+  Node* FindNode(const NodeId& id);
+
+  // Elastic membership (Fig. 11a): add a fresh node (optionally with custom
+  // resources) or kill one.
+  NodeId AddNode();
+  NodeId AddNodeWithResources(const ResourceSet& resources);
+  void KillNode(size_t index);
+  void KillNode(const NodeId& id);
+
+  // --- registration (published cluster-wide + recorded in the GCS) ---
+  template <typename R, typename... Args>
+  void RegisterFunction(const std::string& name, R (*fn)(Args...)) {
+    functions_.Register(name, fn);
+    tables_->functions.RegisterFunction(FunctionId::FromRandom(), name);
+  }
+  template <typename R, typename... Args>
+  void RegisterFunction(const std::string& name, std::function<R(Args...)> fn) {
+    functions_.Register(name, std::move(fn));
+    tables_->functions.RegisterFunction(FunctionId::FromRandom(), name);
+  }
+  // Two-output remote function (spec num_returns = 2).
+  template <typename R1, typename R2, typename... Args>
+  void RegisterFunction2(const std::string& name, std::function<std::pair<R1, R2>(Args...)> fn) {
+    functions_.Register2(name, std::move(fn));
+    tables_->functions.RegisterFunction(FunctionId::FromRandom(), name);
+  }
+  template <typename C>
+  void RegisterActorClass(const std::string& name) {
+    actor_classes_.Register<C>(name);
+  }
+  // `read_only` methods do not mutate actor state; recovery replay skips
+  // their bodies (Section 5.1's annotation).
+  template <typename C, typename R, typename... Args>
+  void RegisterActorMethod(const std::string& class_name, const std::string& method,
+                           R (C::*fn)(Args...), bool read_only = false) {
+    actor_classes_.RegisterMethod(class_name, method, fn, read_only);
+  }
+
+  // --- submission (used by the Ray API facade) ---
+  // Records lineage (spec + creating-task entries) and routes the task:
+  // plain tasks go bottom-up via `from`'s local scheduler; actor methods are
+  // routed to the actor's node, recovering the actor first if its node died.
+  Status SubmitTask(const TaskSpec& spec, const NodeId& from);
+
+  // --- fault tolerance ---
+  // Re-executes the lineage needed to reproduce `object` (idempotent; safe
+  // to call from fetch threads and concurrent getters).
+  void ReconstructObject(const ObjectId& object);
+  // Recovers a dead actor: re-runs its creation task (which restores the
+  // latest checkpoint if any) and replays the method log past it.
+  void RecoverActor(const ActorId& actor);
+
+  // Lineage garbage collection (the Section 7 limitation this repo
+  // implements as an extension): deletes the GCS lineage of the tasks that
+  // produced `objects` — and, if `transitive`, of their whole ancestry —
+  // once those tasks are DONE. Bounds GCS growth for long-running drivers;
+  // the collected objects are afterwards only as durable as their replicas
+  // (reconstruction is no longer possible). Returns tasks collected.
+  size_t CollectLineage(const std::vector<ObjectId>& objects, bool transitive = false);
+
+  gcs::Gcs& gcs() { return *gcs_; }
+  gcs::GcsTables& tables() { return *tables_; }
+  SimNetwork& net() { return *net_; }
+  GlobalSchedulerPool& global_scheduler() { return *global_; }
+  LocalSchedulerRegistry& registry() { return registry_; }
+  FunctionRegistry& functions() { return functions_; }
+  ActorRegistry& actor_classes() { return actor_classes_; }
+  TaskGraph* task_graph() { return task_graph_.get(); }
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  NodeId AddNodeInternal(const LocalSchedulerConfig& scheduler_config);
+  // Routes an actor method to the actor's current node, blocking until the
+  // actor has a live location (it may still be being created or recovered).
+  Status RouteActorTask(const TaskSpec& spec, const NodeId& from);
+  void RecordLineage(const TaskSpec& spec, const NodeId& submitter);
+
+  ClusterConfig config_;
+  std::unique_ptr<gcs::Gcs> gcs_;
+  std::unique_ptr<gcs::GcsTables> tables_;
+  std::unique_ptr<SimNetwork> net_;
+  LocalSchedulerRegistry registry_;
+  FunctionRegistry functions_;
+  ActorRegistry actor_classes_;
+  std::unique_ptr<GlobalSchedulerPool> global_;
+  RuntimeContext rt_;
+  std::unique_ptr<TaskGraph> task_graph_;
+
+  mutable std::mutex nodes_mu_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  std::mutex reconstruct_mu_;
+  std::unordered_set<TaskId> reconstructing_;
+
+  std::mutex actor_recovery_mu_;
+  std::unordered_set<ActorId> actors_recovering_;
+};
+
+}  // namespace ray
+
+#endif  // RAY_RUNTIME_CLUSTER_H_

@@ -1,0 +1,197 @@
+// Registry of remote functions and actor classes. Registering a function
+// publishes it to every worker (Fig. 7a step 0): in this single-process
+// runtime the registry is shared by all nodes, and a Function Table record
+// is written to the GCS for parity with the paper's control flow.
+//
+// Typed registration wraps a C++ callable into a raw form operating on
+// serialized buffers; the worker resolves argument buffers (inline values or
+// store objects) and the wrapper deserializes them into the declared
+// parameter types.
+#ifndef RAY_RUNTIME_FUNCTION_REGISTRY_H_
+#define RAY_RUNTIME_FUNCTION_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/logging.h"
+#include "common/serialization.h"
+
+namespace ray {
+
+using RawFunction = std::function<BufferPtr(const std::vector<BufferPtr>& args)>;
+// Multi-output remote function: one buffer per return object (Table 1:
+// "f.remote() ... returns one or more futures").
+using RawMultiFunction = std::function<std::vector<BufferPtr>(const std::vector<BufferPtr>& args)>;
+// Raw actor method: bound to a type-erased instance pointer.
+using RawMethod = std::function<BufferPtr(void* self, const std::vector<BufferPtr>& args)>;
+
+namespace detail {
+
+template <typename Fn, typename R, typename... Args, size_t... I>
+R InvokeTyped(const Fn& fn, const std::vector<BufferPtr>& args, std::index_sequence<I...>) {
+  RAY_CHECK(args.size() == sizeof...(Args)) << "arity mismatch: got " << args.size() << " args, want "
+                                            << sizeof...(Args);
+  return fn(DeserializeValue<std::decay_t<Args>>(*args[I])...);
+}
+
+template <typename Fn, typename R, typename... Args, size_t... I>
+BufferPtr InvokeWithBuffers(const Fn& fn, const std::vector<BufferPtr>& args,
+                            std::index_sequence<I...> seq) {
+  if constexpr (std::is_void_v<R>) {
+    RAY_CHECK(args.size() == sizeof...(Args)) << "arity mismatch";
+    fn(DeserializeValue<std::decay_t<Args>>(*args[I])...);
+    return std::make_shared<Buffer>();
+  } else {
+    return SerializeValue(InvokeTyped<Fn, R, Args...>(fn, args, seq));
+  }
+}
+
+// Detects SaveCheckpoint(Writer&) / RestoreCheckpoint(Reader&) members.
+template <typename C, typename = void>
+struct HasCheckpointHooks : std::false_type {};
+template <typename C>
+struct HasCheckpointHooks<
+    C, std::void_t<decltype(std::declval<const C&>().SaveCheckpoint(std::declval<Writer&>())),
+                   decltype(std::declval<C&>().RestoreCheckpoint(std::declval<Reader&>()))>>
+    : std::true_type {};
+
+}  // namespace detail
+
+class FunctionRegistry {
+ public:
+  void RegisterRaw(const std::string& name, RawFunction fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    functions_[name] = std::move(fn);
+  }
+
+  template <typename R, typename... Args>
+  void Register(const std::string& name, R (*fn)(Args...)) {
+    Register(name, std::function<R(Args...)>(fn));
+  }
+
+  template <typename R, typename... Args>
+  void Register(const std::string& name, std::function<R(Args...)> fn) {
+    RegisterRaw(name, [fn = std::move(fn)](const std::vector<BufferPtr>& args) {
+      return detail::InvokeWithBuffers<std::function<R(Args...)>, R, Args...>(
+          fn, args, std::index_sequence_for<Args...>{});
+    });
+  }
+
+  // Registers a two-output function (spec num_returns = 2): the pair's
+  // elements become independent objects addressable as ReturnId(0)/(1).
+  template <typename R1, typename R2, typename... Args>
+  void Register2(const std::string& name, std::function<std::pair<R1, R2>(Args...)> fn) {
+    RawMultiFunction raw = [fn = std::move(fn)](const std::vector<BufferPtr>& args) {
+      auto invoke = [&fn](const std::vector<BufferPtr>& a) {
+        return detail::InvokeTyped<std::function<std::pair<R1, R2>(Args...)>, std::pair<R1, R2>,
+                                   Args...>(fn, a, std::index_sequence_for<Args...>{});
+      };
+      std::pair<R1, R2> result = invoke(args);
+      return std::vector<BufferPtr>{SerializeValue(result.first), SerializeValue(result.second)};
+    };
+    std::lock_guard<std::mutex> lock(mu_);
+    multi_functions_[name] = std::move(raw);
+  }
+
+  const RawFunction* Lookup(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = functions_.find(name);
+    return it == functions_.end() ? nullptr : &it->second;
+  }
+
+  const RawMultiFunction* LookupMulti(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = multi_functions_.find(name);
+    return it == multi_functions_.end() ? nullptr : &it->second;
+  }
+
+  bool Contains(const std::string& name) const {
+    return Lookup(name) != nullptr || LookupMulti(name) != nullptr;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, RawFunction> functions_;
+  std::unordered_map<std::string, RawMultiFunction> multi_functions_;
+};
+
+// One registered actor method. `read_only` marks methods that do not mutate
+// actor state (Section 5.1's future-work annotation): recovery replay seals
+// their cursors without running their bodies, which bounds reconstruction
+// time for query-heavy actors.
+struct MethodEntry {
+  RawMethod fn;
+  bool read_only = false;
+};
+
+// Describes an actor class: how to construct instances, its methods, and
+// (optionally) how to checkpoint/restore state.
+struct ActorClass {
+  std::function<std::shared_ptr<void>()> create;
+  std::unordered_map<std::string, MethodEntry> methods;
+  // Empty std::functions when the class has no checkpoint hooks.
+  std::function<std::string(void*)> save_checkpoint;
+  std::function<void(void*, const std::string&)> restore_checkpoint;
+
+  bool SupportsCheckpoint() const { return static_cast<bool>(save_checkpoint); }
+};
+
+class ActorRegistry {
+ public:
+  // C must be default-constructible; initialize via an Init method if the
+  // actor needs arguments.
+  template <typename C>
+  void Register(const std::string& class_name) {
+    ActorClass cls;
+    cls.create = [] { return std::static_pointer_cast<void>(std::make_shared<C>()); };
+    if constexpr (detail::HasCheckpointHooks<C>::value) {
+      cls.save_checkpoint = [](void* self) {
+        Writer w;
+        static_cast<const C*>(self)->SaveCheckpoint(w);
+        return w.Finish()->ToString();
+      };
+      cls.restore_checkpoint = [](void* self, const std::string& bytes) {
+        Reader r(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+        static_cast<C*>(self)->RestoreCheckpoint(r);
+      };
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    classes_[class_name] = std::move(cls);
+  }
+
+  template <typename C, typename R, typename... Args>
+  void RegisterMethod(const std::string& class_name, const std::string& method_name,
+                      R (C::*method)(Args...), bool read_only = false) {
+    RawMethod raw = [method](void* self, const std::vector<BufferPtr>& args) {
+      auto bound = [self, method](Args... a) -> R {
+        return (static_cast<C*>(self)->*method)(std::forward<Args>(a)...);
+      };
+      return detail::InvokeWithBuffers<decltype(bound), R, Args...>(bound, args,
+                                                                    std::index_sequence_for<Args...>{});
+    };
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = classes_.find(class_name);
+    RAY_CHECK(it != classes_.end()) << "actor class not registered: " << class_name;
+    it->second.methods[method_name] = MethodEntry{std::move(raw), read_only};
+  }
+
+  const ActorClass* Lookup(const std::string& class_name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = classes_.find(class_name);
+    return it == classes_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ActorClass> classes_;
+};
+
+}  // namespace ray
+
+#endif  // RAY_RUNTIME_FUNCTION_REGISTRY_H_

@@ -1,0 +1,249 @@
+#include "runtime/node.h"
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace ray {
+
+namespace {
+
+thread_local const ExecutionContext* g_execution_context = nullptr;
+
+// RAII for the thread-local execution context around task execution.
+class ScopedExecutionContext {
+ public:
+  explicit ScopedExecutionContext(const ExecutionContext* ctx) { SetCurrentExecutionContext(ctx); }
+  ~ScopedExecutionContext() { SetCurrentExecutionContext(nullptr); }
+};
+
+// Arguments must normally be local by the dispatch invariant; the fallback
+// remote get bounds worst-case stalls (e.g. racing an eviction).
+constexpr int64_t kArgGetTimeoutUs = 2'000'000;
+
+}  // namespace
+
+const ExecutionContext* CurrentExecutionContext() { return g_execution_context; }
+void SetCurrentExecutionContext(const ExecutionContext* ctx) { g_execution_context = ctx; }
+
+Node::Node(const RuntimeContext* rt, const LocalSchedulerConfig& scheduler_config,
+           const ObjectStoreConfig& store_config)
+    : rt_(rt), id_(NodeId::FromRandom()) {
+  store_ = std::make_unique<ObjectStore>(id_, rt_->tables, rt_->net, store_config);
+  scheduler_ = std::make_unique<LocalScheduler>(id_, rt_->tables, rt_->net, store_.get(), rt_->global,
+                                                scheduler_config);
+}
+
+Node::~Node() {
+  if (IsAlive()) {
+    // Graceful teardown (not a crash): stop accepting and drain.
+    alive_.store(false, std::memory_order_release);
+    rt_->registry->Remove(id_);
+    scheduler_->Shutdown();
+    std::lock_guard<std::mutex> lock(actors_mu_);
+    for (auto& [aid, actor] : actors_) {
+      actor->mailbox.Close();
+      if (actor->thread.joinable()) {
+        actor->thread.join();
+      }
+    }
+    actors_.clear();
+  }
+}
+
+void Node::Start() {
+  rt_->tables->nodes.RegisterNode(id_);
+  rt_->registry->Register(id_, scheduler_.get());
+  scheduler_->SetObjectUnreachableHandler(
+      [this](const ObjectId& object) { rt_->reconstruct_object(object); });
+  scheduler_->Start([this](const TaskSpec& spec) { ExecuteTask(spec); },
+                    [this](const TaskSpec& spec) { DispatchActorTask(spec); });
+}
+
+void Node::Kill() {
+  bool expected = true;
+  if (!alive_.compare_exchange_strong(expected, false)) {
+    return;
+  }
+  // Order matters: cut the network first so in-flight transfers fail, then
+  // advertise death, then tear down local components.
+  rt_->net->SetNodeDead(id_, true);
+  rt_->tables->nodes.MarkDead(id_);
+  rt_->registry->Remove(id_);
+  scheduler_->Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(actors_mu_);
+    for (auto& [aid, actor] : actors_) {
+      actor->mailbox.Close();
+      if (actor->thread.joinable()) {
+        actor->thread.join();
+      }
+    }
+    actors_.clear();
+  }
+  store_->CrashClear();
+}
+
+size_t Node::NumLiveActors() const {
+  std::lock_guard<std::mutex> lock(actors_mu_);
+  return actors_.size();
+}
+
+Status Node::ResolveArgs(const TaskSpec& spec, std::vector<BufferPtr>* out) {
+  out->clear();
+  out->reserve(spec.args.size());
+  for (const TaskArg& arg : spec.args) {
+    if (arg.kind == TaskArg::Kind::kByValue) {
+      out->push_back(Buffer::FromString(arg.value));
+      continue;
+    }
+    auto local = store_->GetLocal(arg.ref);
+    if (!local.ok()) {
+      local = store_->Get(arg.ref, kArgGetTimeoutUs);
+    }
+    if (!local.ok()) {
+      return local.status();
+    }
+    out->push_back(*local);
+  }
+  return Status::Ok();
+}
+
+void Node::ExecuteTask(const TaskSpec& spec) {
+  if (!IsAlive()) {
+    return;
+  }
+  ExecutionContext ctx{rt_->cluster, id_, spec.id};
+  ScopedExecutionContext scoped(&ctx);
+  if (spec.IsActorCreation()) {
+    CreateActorInstance(spec);
+    return;
+  }
+  std::vector<BufferPtr> args;
+  Status s = ResolveArgs(spec, &args);
+  if (!s.ok()) {
+    RAY_LOG(WARNING) << "task " << ToShortString(spec.id) << " lost an input: " << s.ToString();
+    rt_->tables->tasks.SetState(spec.id, gcs::TaskState::kLost, id_);
+    return;
+  }
+  if (const RawMultiFunction* multi = rt_->functions->LookupMulti(spec.function_name)) {
+    std::vector<BufferPtr> results = (*multi)(args);
+    if (!IsAlive()) {
+      return;
+    }
+    RAY_CHECK(results.size() == spec.num_returns)
+        << "multi-output function produced " << results.size() << " values, spec expects "
+        << spec.num_returns;
+    for (uint32_t i = 0; i < spec.num_returns; ++i) {
+      store_->Put(spec.ReturnId(i), std::move(results[i]));
+    }
+    return;
+  }
+  const RawFunction* fn = rt_->functions->Lookup(spec.function_name);
+  RAY_CHECK(fn != nullptr) << "unknown remote function: " << spec.function_name;
+  BufferPtr result = (*fn)(args);
+  if (!IsAlive()) {
+    return;  // died mid-execution: outputs are lost with the store
+  }
+  store_->Put(spec.ReturnId(0), std::move(result));
+  for (uint32_t i = 1; i < spec.num_returns; ++i) {
+    store_->Put(spec.ReturnId(i), std::make_shared<Buffer>());
+  }
+}
+
+void Node::CreateActorInstance(const TaskSpec& spec) {
+  const ActorClass* cls = rt_->actor_classes->Lookup(spec.actor_class);
+  RAY_CHECK(cls != nullptr) << "unknown actor class: " << spec.actor_class;
+  auto live = std::make_unique<LiveActor>();
+  live->id = spec.actor;
+  live->cls = cls;
+  live->instance = cls->create();
+  live->held_resources = EffectiveDemand(spec);
+
+  // Self-healing creation: if a checkpoint exists (this is a recovery), load
+  // it and resume the cursor chain from the checkpointed method index
+  // (Fig. 11b); otherwise start the chain at cursor 0.
+  uint64_t start_index = 0;
+  if (cls->SupportsCheckpoint()) {
+    auto ckpt = rt_->tables->actors.GetCheckpoint(spec.actor);
+    if (ckpt.ok()) {
+      cls->restore_checkpoint(live->instance.get(), ckpt->state_bytes);
+      start_index = ckpt->call_index;
+    }
+  }
+  live->last_call_index = start_index;
+  // The actor keeps holding the creation task's resources for its lifetime;
+  // the scheduler skips the release when the creation task finishes.
+  LiveActor* raw = live.get();
+  {
+    std::lock_guard<std::mutex> lock(actors_mu_);
+    auto [it, inserted] = actors_.emplace(spec.actor, std::move(live));
+    RAY_CHECK(inserted) << "actor created twice on one node";
+    raw->thread = std::thread([this, raw] { ActorLoop(raw); });
+  }
+  rt_->tables->actors.SetLocation(spec.actor, id_);
+  store_->Put(ActorCursorId(spec.actor, start_index), std::make_shared<Buffer>());
+  store_->Put(spec.ReturnId(0), std::make_shared<Buffer>());  // creation-complete signal
+}
+
+void Node::DispatchActorTask(const TaskSpec& spec) {
+  std::lock_guard<std::mutex> lock(actors_mu_);
+  auto it = actors_.find(spec.actor);
+  if (it == actors_.end()) {
+    // Can only happen if the node died between readiness and dispatch.
+    RAY_LOG(WARNING) << "actor method dispatched but actor " << ToShortString(spec.actor)
+                     << " is not live here";
+    return;
+  }
+  it->second->mailbox.Push(spec);
+}
+
+void Node::ActorLoop(LiveActor* actor) {
+  while (auto spec = actor->mailbox.Pop()) {
+    if (!IsAlive()) {
+      return;
+    }
+    ExecuteActorMethod(actor, *spec);
+  }
+}
+
+void Node::ExecuteActorMethod(LiveActor* actor, const TaskSpec& spec) {
+  if (!spec.actor_method_read_only && spec.actor_call_index <= actor->last_call_index) {
+    // Duplicate delivery (replay racing a routing retry); the first
+    // execution already sealed this method's outputs. Read-only methods are
+    // exempt: they share the chain position they snapshot.
+    return;
+  }
+  ExecutionContext ctx{rt_->cluster, id_, spec.id};
+  ScopedExecutionContext scoped(&ctx);
+  std::vector<BufferPtr> args;
+  Status s = ResolveArgs(spec, &args);
+  if (!s.ok()) {
+    RAY_LOG(WARNING) << "actor method " << spec.function_name << " lost an input: " << s.ToString();
+    rt_->tables->tasks.SetState(spec.id, gcs::TaskState::kLost, id_);
+    return;
+  }
+  auto mit = actor->cls->methods.find(spec.function_name);
+  RAY_CHECK(mit != actor->cls->methods.end())
+      << "unknown method " << spec.function_name << " on actor class";
+  BufferPtr result = mit->second.fn(actor->instance.get(), args);
+  if (!IsAlive()) {
+    return;
+  }
+  store_->Put(spec.ReturnId(0), std::move(result));
+  rt_->tables->tasks.SetState(spec.id, gcs::TaskState::kDone, id_);
+  actor_methods_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (spec.actor_method_read_only) {
+    return;  // off-chain: no cursor to seal, no checkpoint trigger
+  }
+  // Seal the stateful-edge cursor so the next method becomes ready.
+  store_->Put(spec.ResultCursor(), std::make_shared<Buffer>());
+  actor->last_call_index = spec.actor_call_index;
+
+  uint64_t interval = rt_->actor_checkpoint_interval;
+  if (interval > 0 && actor->cls->SupportsCheckpoint() && spec.actor_call_index % interval == 0) {
+    std::string state = actor->cls->save_checkpoint(actor->instance.get());
+    rt_->tables->actors.StoreCheckpoint(spec.actor, spec.actor_call_index, state);
+  }
+}
+
+}  // namespace ray

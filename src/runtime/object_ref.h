@@ -1,0 +1,38 @@
+// Typed future handle returned by task submission and ray::Put. Holds only
+// the object id; the value lives in the object store.
+#ifndef RAY_RUNTIME_OBJECT_REF_H_
+#define RAY_RUNTIME_OBJECT_REF_H_
+
+#include <type_traits>
+
+#include "common/id.h"
+
+namespace ray {
+
+template <typename T>
+class ObjectRef {
+ public:
+  using ValueType = T;
+
+  ObjectRef() = default;
+  explicit ObjectRef(const ObjectId& id) : id_(id) {}
+
+  const ObjectId& id() const { return id_; }
+  bool IsNil() const { return id_.IsNil(); }
+
+  friend bool operator==(const ObjectRef& a, const ObjectRef& b) { return a.id_ == b.id_; }
+
+ private:
+  ObjectId id_;
+};
+
+namespace detail {
+template <typename T>
+struct IsObjectRef : std::false_type {};
+template <typename T>
+struct IsObjectRef<ObjectRef<T>> : std::true_type {};
+}  // namespace detail
+
+}  // namespace ray
+
+#endif  // RAY_RUNTIME_OBJECT_REF_H_

@@ -1,0 +1,131 @@
+#include "scheduler/global_scheduler.h"
+
+#include <limits>
+
+#include "common/random.h"
+
+#include "common/logging.h"
+#include "scheduler/local_scheduler.h"
+
+namespace ray {
+
+ResourceSet EffectiveDemand(const TaskSpec& spec) {
+  if (spec.IsActorTask()) {
+    return ResourceSet{};
+  }
+  if (spec.resources.IsEmpty()) {
+    return ResourceSet::Cpu(1);
+  }
+  return spec.resources;
+}
+
+GlobalScheduler::GlobalScheduler(gcs::GcsTables* tables, SimNetwork* net,
+                                 LocalSchedulerRegistry* registry, const GlobalSchedulerConfig& config)
+    : id_(NodeId::FromRandom()), tables_(tables), net_(net), registry_(registry), config_(config) {}
+
+double GlobalScheduler::EstimateWait(const gcs::Heartbeat& hb, const TaskSpec& spec,
+                                     const NodeId& node) const {
+  double task_dur = hb.avg_task_duration_s > 0 ? hb.avg_task_duration_s : config_.default_task_duration_s;
+  double wait = static_cast<double>(hb.queue_length) * task_dur;
+  if (config_.locality_aware) {
+    // Transfer time for inputs that are not already on `node` (Fig. 8a).
+    double bw = hb.avg_bandwidth_bytes_s > 0 ? hb.avg_bandwidth_bytes_s : config_.default_bandwidth_bytes_s;
+    uint64_t remote_bytes = 0;
+    for (const ObjectId& dep : spec.Dependencies()) {
+      auto entry = tables_->objects.GetLocations(dep);
+      if (!entry.ok()) {
+        continue;  // unknown object: no information either way
+      }
+      bool local = false;
+      for (const NodeId& loc : entry->locations) {
+        if (loc == node) {
+          local = true;
+          break;
+        }
+      }
+      if (!local) {
+        remote_bytes += entry->size_bytes;
+      }
+    }
+    wait += static_cast<double>(remote_bytes) / bw;
+  }
+  return wait;
+}
+
+Result<NodeId> GlobalScheduler::Place(const TaskSpec& spec) const {
+  ResourceSet demand = EffectiveDemand(spec);
+  // Two candidate tiers: nodes whose *available* resources fit right now,
+  // and nodes that merely could fit the task when running work drains.
+  // Preferring the first tier matters because actors hold their resources
+  // permanently: a node whose CPUs are all pinned by actors looks idle by
+  // queue length but can never dispatch the task.
+  std::vector<NodeId> available_ties;
+  std::vector<NodeId> capacity_ties;
+  double best_available_wait = std::numeric_limits<double>::infinity();
+  double best_capacity_wait = std::numeric_limits<double>::infinity();
+  auto consider = [](std::vector<NodeId>& ties, double& best, const NodeId& node, double wait) {
+    if (wait < best - 1e-9) {
+      best = wait;
+      ties.assign(1, node);
+    } else if (wait < best + 1e-9) {
+      ties.push_back(node);  // equal estimated wait: break randomly below
+    }
+  };
+  for (const NodeId& node : tables_->nodes.GetAlive()) {
+    auto hb = tables_->nodes.GetHeartbeat(node);
+    if (!hb.ok()) {
+      continue;
+    }
+    if (!hb->total.Contains(demand)) {
+      continue;  // node can never satisfy this task
+    }
+    double wait = EstimateWait(*hb, spec, node);
+    if (hb->available.Contains(demand)) {
+      consider(available_ties, best_available_wait, node, wait);
+    } else {
+      consider(capacity_ties, best_capacity_wait, node, wait);
+    }
+  }
+  const std::vector<NodeId>& ties = !available_ties.empty() ? available_ties : capacity_ties;
+  if (ties.empty()) {
+    return Status::ResourceExhausted("no node satisfies demand " + demand.ToString());
+  }
+  // Random tie-break load-balances nodes the estimate cannot distinguish
+  // (heartbeats are only as fresh as their interval).
+  thread_local Rng tie_rng(0x7a1eULL);
+  return ties[static_cast<size_t>(tie_rng.UniformInt(0, static_cast<int64_t>(ties.size()) - 1))];
+}
+
+Status GlobalScheduler::Schedule(const TaskSpec& spec, const NodeId& from) {
+  auto target = Place(spec);
+  if (!target.ok()) {
+    return target.status();
+  }
+  num_scheduled_.fetch_add(1, std::memory_order_relaxed);
+  // Control-plane hops: submitter -> global scheduler -> chosen node. The
+  // injected scheduler latency (Fig. 12b) is charged on this path.
+  RAY_RETURN_NOT_OK(net_->SchedulerHop(from, id_));
+  RAY_RETURN_NOT_OK(net_->ControlRpc(id_, *target));
+  LocalScheduler* local = registry_->Lookup(*target);
+  if (local == nullptr) {
+    return Status::NodeDead("target local scheduler gone");
+  }
+  local->SubmitPlaced(spec);
+  return Status::Ok();
+}
+
+GlobalSchedulerPool::GlobalSchedulerPool(int num_replicas, gcs::GcsTables* tables, SimNetwork* net,
+                                         LocalSchedulerRegistry* registry,
+                                         const GlobalSchedulerConfig& config) {
+  RAY_CHECK(num_replicas >= 1);
+  for (int i = 0; i < num_replicas; ++i) {
+    replicas_.push_back(std::make_unique<GlobalScheduler>(tables, net, registry, config));
+  }
+}
+
+Status GlobalSchedulerPool::Schedule(const TaskSpec& spec, const NodeId& from) {
+  size_t i = next_.fetch_add(1, std::memory_order_relaxed) % replicas_.size();
+  return replicas_[i]->Schedule(spec, from);
+}
+
+}  // namespace ray

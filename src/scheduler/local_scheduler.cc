@@ -1,0 +1,368 @@
+#include "scheduler/local_scheduler.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace ray {
+
+LocalScheduler::LocalScheduler(const NodeId& node, gcs::GcsTables* tables, SimNetwork* net,
+                               ObjectStore* store, GlobalSchedulerPool* global,
+                               const LocalSchedulerConfig& config)
+    : node_(node),
+      tables_(tables),
+      net_(net),
+      store_(store),
+      global_(global),
+      config_(config),
+      available_(config.total_resources) {}
+
+LocalScheduler::~LocalScheduler() { Shutdown(); }
+
+void LocalScheduler::Start(Executor executor, ActorDispatcher actor_dispatcher) {
+  executor_ = std::move(executor);
+  actor_dispatcher_ = std::move(actor_dispatcher);
+  fetch_pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(std::max(1, config_.num_fetch_threads)));
+  int num_workers = config_.num_workers > 0
+                        ? config_.num_workers
+                        : std::max(1, static_cast<int>(config_.total_resources.Get("CPU")));
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  ReportHeartbeat();
+  heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
+}
+
+void LocalScheduler::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  dispatch_queue_.Close();
+  for (auto& w : workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+  workers_.clear();
+  if (heartbeat_thread_.joinable()) {
+    heartbeat_thread_.join();
+  }
+  if (fetch_pool_) {
+    fetch_pool_->Shutdown();
+  }
+  // Drop all Object Table subscriptions.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [object, token] : subscriptions_) {
+    tables_->objects.UnsubscribeLocations(object, token);
+  }
+  subscriptions_.clear();
+}
+
+void LocalScheduler::SetObjectUnreachableHandler(ObjectUnreachableHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  unreachable_handler_ = std::move(handler);
+}
+
+Status LocalScheduler::Submit(const TaskSpec& spec) {
+  ResourceSet demand = EffectiveDemand(spec);
+  bool available_now;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Resources currently held by actors never come back (Section 4.2.2), so
+    // "cannot satisfy the task's requirements" must consider availability,
+    // not just the node's nominal capacity.
+    available_now = available_.Contains(demand);
+  }
+  bool overloaded = QueueLength() >= config_.spillover_queue_threshold;
+  if (!config_.always_forward_to_global && available_now && !overloaded) {
+    Enqueue(spec);
+    return Status::Ok();
+  }
+  spilled_.fetch_add(1, std::memory_order_relaxed);
+  return global_->Schedule(spec, node_);
+}
+
+void LocalScheduler::SubmitPlaced(const TaskSpec& spec) { Enqueue(spec); }
+
+void LocalScheduler::Enqueue(const TaskSpec& spec) {
+  // Track which node holds the task; reconstruction uses this to tell
+  // in-flight tasks from ones lost with a dead node's queue.
+  tables_->tasks.SetState(spec.id, gcs::TaskState::kPending, node_);
+  std::vector<ObjectId> to_fetch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PendingTask pending{spec, {}};
+    for (const ObjectId& dep : spec.Dependencies()) {
+      if (!store_->ContainsLocal(dep)) {
+        pending.missing.insert(dep);
+        blocked_on_[dep].push_back(spec.id);
+        to_fetch.push_back(dep);
+      }
+    }
+    if (pending.missing.empty()) {
+      ready_.push_back(spec);
+      TryDispatchLocked();
+    } else {
+      waiting_.emplace(spec.id, std::move(pending));
+    }
+  }
+  for (const ObjectId& object : to_fetch) {
+    EnsureFetch(object);
+  }
+}
+
+void LocalScheduler::EnsureFetch(const ObjectId& object) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (subscriptions_.count(object) == 0) {
+      // Location-added events drive retries; fires for local puts too.
+      uint64_t token = tables_->objects.SubscribeLocations(
+          object, [this, object](const ObjectId&, const NodeId&) {
+            if (shutdown_.load(std::memory_order_relaxed)) {
+              return;
+            }
+            fetch_pool_->Submit([this, object] { FetchJob(object); });
+          });
+      subscriptions_.emplace(object, token);
+    }
+  }
+  fetch_pool_->Submit([this, object] { FetchJob(object); });
+}
+
+void LocalScheduler::FetchJob(const ObjectId& object) {
+  if (shutdown_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (store_->ContainsLocal(object)) {
+    OnObjectLocal(object);
+    return;
+  }
+  // One in-flight fetch per object: subscription callbacks and the
+  // heartbeat-cadence retry can both fire while a pull is already running,
+  // and duplicate pulls charge the wire twice.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!fetching_.insert(object).second) {
+      return;
+    }
+  }
+  FetchJobLocked(object);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fetching_.erase(object);
+  }
+}
+
+void LocalScheduler::FetchJobLocked(const ObjectId& object) {
+  auto entry = tables_->objects.GetLocations(object);
+  if (!entry.ok() || entry->locations.empty()) {
+    // Not created yet. Usually the subscription will fire when it is — but
+    // if the producer died with its queue, no location will ever appear.
+    auto creating = tables_->objects.GetCreatingTask(object);
+    if (creating.ok()) {
+      auto state = tables_->tasks.GetState(*creating);
+      bool producer_healthy = false;
+      if (state.ok()) {
+        auto [st, node] = *state;
+        producer_healthy = (st == gcs::TaskState::kPending || st == gcs::TaskState::kRunning ||
+                            st == gcs::TaskState::kDone) &&
+                           !net_->IsDead(node);
+      }
+      if (!producer_healthy) {
+        ObjectUnreachableHandler handler;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          handler = unreachable_handler_;
+        }
+        if (handler) {
+          handler(object);
+        }
+      }
+    }
+    return;
+  }
+  bool any_alive = false;
+  for (const NodeId& src : entry->locations) {
+    if (src == node_) {
+      continue;  // stale self-location from before a crash
+    }
+    if (net_->IsDead(src)) {
+      continue;
+    }
+    any_alive = true;
+    Timer timer;
+    if (store_->Fetch(object, src).ok()) {
+      double secs = timer.ElapsedSeconds();
+      if (secs > 0 && entry->size_bytes > 0) {
+        bandwidth_ema_.Observe(static_cast<double>(entry->size_bytes) / secs);
+      }
+      OnObjectLocal(object);
+      return;
+    }
+  }
+  if (!any_alive) {
+    // Every replica died with its node: reconstruction needed (Fig. 11a).
+    ObjectUnreachableHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      handler = unreachable_handler_;
+    }
+    if (handler) {
+      handler(object);
+    }
+  }
+}
+
+void LocalScheduler::OnObjectLocal(const ObjectId& object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto bit = blocked_on_.find(object);
+  if (bit == blocked_on_.end()) {
+    return;
+  }
+  for (const TaskId& task : bit->second) {
+    auto wit = waiting_.find(task);
+    if (wit == waiting_.end()) {
+      continue;
+    }
+    wit->second.missing.erase(object);
+    if (wit->second.missing.empty()) {
+      ready_.push_back(std::move(wit->second.spec));
+      waiting_.erase(wit);
+    }
+  }
+  blocked_on_.erase(bit);
+  auto sit = subscriptions_.find(object);
+  if (sit != subscriptions_.end()) {
+    tables_->objects.UnsubscribeLocations(object, sit->second);
+    subscriptions_.erase(sit);
+  }
+  TryDispatchLocked();
+}
+
+void LocalScheduler::TryDispatchLocked() {
+  // Scan the ready queue for the first tasks whose demands fit; FIFO among
+  // fitting tasks. Actor methods bypass resource gating (their actor already
+  // holds resources) and go straight to the actor mailbox.
+  for (auto it = ready_.begin(); it != ready_.end();) {
+    const TaskSpec& spec = *it;
+    if (spec.IsActorTask()) {
+      TaskSpec s = std::move(*it);
+      it = ready_.erase(it);
+      actor_dispatcher_(s);
+      continue;
+    }
+    ResourceSet demand = EffectiveDemand(spec);
+    if (available_.Contains(demand)) {
+      available_.Subtract(demand);
+      ++running_;
+      TaskSpec s = std::move(*it);
+      it = ready_.erase(it);
+      dispatch_queue_.Push(std::move(s));
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LocalScheduler::WorkerLoop() {
+  while (auto spec = dispatch_queue_.Pop()) {
+    Timer timer;
+    // No kRunning transition: reconstruction treats pending-on-a-live-node
+    // and running identically, so the extra GCS write per task buys nothing.
+    executor_(*spec);
+    tables_->tasks.SetState(spec->id, gcs::TaskState::kDone, node_);
+    FinishTask(*spec, timer.ElapsedSeconds());
+  }
+}
+
+void LocalScheduler::FinishTask(const TaskSpec& spec, double duration_s) {
+  task_duration_ema_.Observe(duration_s);
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!spec.IsActorCreation()) {
+    // Actor creations never release: the live actor keeps holding its
+    // resources until the node dies (Section 4.2.2 resource accounting).
+    available_.Add(EffectiveDemand(spec));
+  }
+  --running_;
+  TryDispatchLocked();
+}
+
+size_t LocalScheduler::QueueLength() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_.size() + ready_.size() + running_;
+}
+
+gcs::Heartbeat LocalScheduler::MakeHeartbeat() const {
+  gcs::Heartbeat hb;
+  hb.queue_length = QueueLength();
+  hb.avg_task_duration_s = task_duration_ema_.HasValue() ? task_duration_ema_.Value() : 0.0;
+  hb.avg_bandwidth_bytes_s = bandwidth_ema_.HasValue() ? bandwidth_ema_.Value() : 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hb.available = available_;
+  }
+  hb.total = config_.total_resources;
+  return hb;
+}
+
+void LocalScheduler::ReportHeartbeat() { tables_->nodes.ReportHeartbeat(node_, MakeHeartbeat()); }
+
+void LocalScheduler::HeartbeatLoop() {
+  while (!shutdown_.load(std::memory_order_relaxed)) {
+    SleepMicros(config_.heartbeat_interval_us);
+    if (shutdown_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    ReportHeartbeat();
+    RescueStrandedTasks();
+  }
+}
+
+void LocalScheduler::RescueStrandedTasks() {
+  // Retry fetches for every object this node is still blocked on: the
+  // subscription-driven path misses producers that died without publishing,
+  // and FetchJob's lineage check (above) is what detects those.
+  std::vector<ObjectId> blocked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocked.reserve(blocked_on_.size());
+    for (const auto& [object, tasks] : blocked_on_) {
+      blocked.push_back(object);
+    }
+  }
+  for (const ObjectId& object : blocked) {
+    fetch_pool_->Submit([this, object] { FetchJob(object); });
+  }
+
+  // Liveness backstop: a task placed here against stale heartbeats may need
+  // more than this node can ever free (actors hold resources permanently).
+  // With nothing running, no release will ever come — re-forward such tasks.
+  std::vector<TaskSpec> stranded;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_ > 0) {
+      return;
+    }
+    for (auto it = ready_.begin(); it != ready_.end();) {
+      if (!it->IsActorTask() && !available_.Contains(EffectiveDemand(*it))) {
+        stranded.push_back(std::move(*it));
+        it = ready_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const TaskSpec& spec : stranded) {
+    spilled_.fetch_add(1, std::memory_order_relaxed);
+    Status s = global_->Schedule(spec, node_);
+    if (!s.ok()) {
+      RAY_LOG(WARNING) << "failed to re-forward stranded task: " << s.ToString();
+    }
+  }
+}
+
+}  // namespace ray

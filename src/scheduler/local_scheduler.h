@@ -1,0 +1,150 @@
+// Per-node local scheduler (Section 4.2.2). Event-driven state machine:
+//
+//   Submit ──(fits here, not overloaded)──> waiting ──(deps local)──> ready
+//      │                                                                │
+//      └─(overloaded / unsatisfiable)─> global scheduler      dispatch ─┴─> worker / actor mailbox
+//
+// Tasks are submitted bottom-up: created at this node, they are queued here
+// unless the node is overloaded (queue above a threshold) or lacks the
+// required resources, in which case they spill to the global scheduler.
+// Dependency management is GCS-driven: each missing input registers an
+// Object Table subscription; when a location is published anywhere in the
+// cluster the scheduler pulls a copy into the local store, and tasks whose
+// inputs are all local become ready. Dispatch is resource-gated (CPU/GPU).
+#ifndef RAY_SCHEDULER_LOCAL_SCHEDULER_H_
+#define RAY_SCHEDULER_LOCAL_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/id.h"
+#include "common/metrics.h"
+#include "common/queue.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "gcs/tables.h"
+#include "net/sim_network.h"
+#include "objectstore/object_store.h"
+#include "scheduler/global_scheduler.h"
+#include "scheduler/registry.h"
+#include "task/task_spec.h"
+
+namespace ray {
+
+struct LocalSchedulerConfig {
+  ResourceSet total_resources = ResourceSet::Cpu(4);
+  // Queue length beyond which new locally-submitted tasks spill to the
+  // global scheduler (the "bottom-up" threshold).
+  size_t spillover_queue_threshold = 16;
+  int64_t heartbeat_interval_us = 20'000;
+  // Ablation: send every submission through the global scheduler.
+  bool always_forward_to_global = false;
+  int num_fetch_threads = 2;
+  int num_workers = 0;  // 0 = derive from CPU resource
+};
+
+class LocalScheduler {
+ public:
+  // Runs a plain task to completion; called on a scheduler worker thread.
+  using Executor = std::function<void(const TaskSpec&)>;
+  // Hands an actor method to its actor mailbox; must not block.
+  using ActorDispatcher = std::function<void(const TaskSpec&)>;
+  // Called when an input object cannot be fetched because every replica is
+  // on a dead node — the runtime triggers lineage reconstruction.
+  using ObjectUnreachableHandler = std::function<void(const ObjectId&)>;
+
+  LocalScheduler(const NodeId& node, gcs::GcsTables* tables, SimNetwork* net, ObjectStore* store,
+                 GlobalSchedulerPool* global, const LocalSchedulerConfig& config);
+  ~LocalScheduler();
+
+  LocalScheduler(const LocalScheduler&) = delete;
+  LocalScheduler& operator=(const LocalScheduler&) = delete;
+
+  void Start(Executor executor, ActorDispatcher actor_dispatcher);
+  void Shutdown();
+
+  // Bottom-up entry point for tasks created on this node.
+  Status Submit(const TaskSpec& spec);
+  // Entry point for tasks placed here by the global scheduler or routed here
+  // because this node hosts the target actor; never spills.
+  void SubmitPlaced(const TaskSpec& spec);
+
+  void SetObjectUnreachableHandler(ObjectUnreachableHandler handler);
+
+  size_t QueueLength() const;
+  gcs::Heartbeat MakeHeartbeat() const;
+  const NodeId& node() const { return node_; }
+  const ResourceSet& total_resources() const { return config_.total_resources; }
+  uint64_t NumTasksExecuted() const { return tasks_executed_.load(std::memory_order_relaxed); }
+  uint64_t NumSpilledToGlobal() const { return spilled_.load(std::memory_order_relaxed); }
+
+  // Publishes a heartbeat right now (also called periodically).
+  void ReportHeartbeat();
+
+ private:
+  struct PendingTask {
+    TaskSpec spec;
+    std::unordered_set<ObjectId> missing;
+  };
+
+  void Enqueue(const TaskSpec& spec);
+  // Must hold mu_. Moves the task to ready / dispatches if possible.
+  void TryDispatchLocked();
+  // Marks `object` locally available; promotes tasks waiting on it.
+  void OnObjectLocal(const ObjectId& object);
+  // Ensures a subscription + fetch attempt exists for `object`.
+  void EnsureFetch(const ObjectId& object);
+  void FetchJob(const ObjectId& object);
+  // The body of FetchJob once the per-object in-flight guard is held.
+  void FetchJobLocked(const ObjectId& object);
+  void WorkerLoop();
+  void HeartbeatLoop();
+  void RescueStrandedTasks();
+  void FinishTask(const TaskSpec& spec, double duration_s);
+
+  NodeId node_;
+  gcs::GcsTables* tables_;
+  SimNetwork* net_;
+  ObjectStore* store_;
+  GlobalSchedulerPool* global_;
+  LocalSchedulerConfig config_;
+
+  Executor executor_;
+  ActorDispatcher actor_dispatcher_;
+  ObjectUnreachableHandler unreachable_handler_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<TaskId, PendingTask> waiting_;
+  // object -> waiting tasks blocked on it
+  std::unordered_map<ObjectId, std::vector<TaskId>> blocked_on_;
+  // object -> GCS subscription token
+  std::unordered_map<ObjectId, uint64_t> subscriptions_;
+  // objects with a pull currently in flight (dedupe guard)
+  std::unordered_set<ObjectId> fetching_;
+  std::deque<TaskSpec> ready_;
+  ResourceSet available_;
+  size_t running_ = 0;
+
+  BlockingQueue<TaskSpec> dispatch_queue_;
+  std::vector<std::thread> workers_;
+  std::unique_ptr<ThreadPool> fetch_pool_;
+  std::thread heartbeat_thread_;
+  std::atomic<bool> shutdown_{false};
+
+  Ema task_duration_ema_{0.3};
+  Ema bandwidth_ema_{0.3};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> spilled_{0};
+};
+
+}  // namespace ray
+
+#endif  // RAY_SCHEDULER_LOCAL_SCHEDULER_H_

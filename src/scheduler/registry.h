@@ -1,0 +1,41 @@
+// Directory mapping node ids to their local schedulers. Plays the role of
+// the RPC address book: the global scheduler and peer nodes use it to route
+// task submissions; all actual latency is charged by SimNetwork.
+#ifndef RAY_SCHEDULER_REGISTRY_H_
+#define RAY_SCHEDULER_REGISTRY_H_
+
+#include <mutex>
+#include <unordered_map>
+
+#include "common/id.h"
+
+namespace ray {
+
+class LocalScheduler;
+
+class LocalSchedulerRegistry {
+ public:
+  void Register(const NodeId& node, LocalScheduler* scheduler) {
+    std::lock_guard<std::mutex> lock(mu_);
+    schedulers_[node] = scheduler;
+  }
+
+  void Remove(const NodeId& node) {
+    std::lock_guard<std::mutex> lock(mu_);
+    schedulers_.erase(node);
+  }
+
+  LocalScheduler* Lookup(const NodeId& node) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = schedulers_.find(node);
+    return it == schedulers_.end() ? nullptr : it->second;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, LocalScheduler*> schedulers_;
+};
+
+}  // namespace ray
+
+#endif  // RAY_SCHEDULER_REGISTRY_H_

@@ -1,0 +1,65 @@
+#include "task/task_spec.h"
+
+namespace ray {
+
+std::vector<ObjectId> TaskSpec::Dependencies() const {
+  std::vector<ObjectId> deps;
+  for (const TaskArg& arg : args) {
+    if (arg.kind == TaskArg::Kind::kByRef) {
+      deps.push_back(arg.ref);
+    }
+  }
+  if (IsActorTask()) {
+    deps.push_back(actor_method_read_only ? ActorCursorId(actor, actor_call_index)
+                                          : PreviousCursor());
+  }
+  return deps;
+}
+
+std::string TaskSpec::Serialize() const {
+  Writer w;
+  Put(w, id.Binary());
+  Put(w, function_name);
+  w.WritePod<uint64_t>(args.size());
+  for (const TaskArg& arg : args) {
+    w.WritePod<uint8_t>(static_cast<uint8_t>(arg.kind));
+    Put(w, arg.ref.Binary());
+    Put(w, arg.value);
+  }
+  w.WritePod<uint32_t>(num_returns);
+  Put(w, resources.Quantities());
+  Put(w, parent.Binary());
+  Put(w, actor.Binary());
+  w.WritePod<uint64_t>(actor_call_index);
+  w.WritePod<uint8_t>(is_actor_creation ? 1 : 0);
+  w.WritePod<uint8_t>(actor_method_read_only ? 1 : 0);
+  Put(w, actor_class);
+  return w.Finish()->ToString();
+}
+
+TaskSpec TaskSpec::Deserialize(const std::string& bytes) {
+  Reader r(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  TaskSpec spec;
+  spec.id = TaskId::FromBinary(Take<std::string>(r));
+  spec.function_name = Take<std::string>(r);
+  auto nargs = r.ReadPod<uint64_t>();
+  spec.args.reserve(nargs);
+  for (uint64_t i = 0; i < nargs; ++i) {
+    TaskArg arg;
+    arg.kind = static_cast<TaskArg::Kind>(r.ReadPod<uint8_t>());
+    arg.ref = ObjectId::FromBinary(Take<std::string>(r));
+    arg.value = Take<std::string>(r);
+    spec.args.push_back(std::move(arg));
+  }
+  spec.num_returns = r.ReadPod<uint32_t>();
+  spec.resources = ResourceSet(Take<std::map<std::string, double>>(r));
+  spec.parent = TaskId::FromBinary(Take<std::string>(r));
+  spec.actor = ActorId::FromBinary(Take<std::string>(r));
+  spec.actor_call_index = r.ReadPod<uint64_t>();
+  spec.is_actor_creation = r.ReadPod<uint8_t>() != 0;
+  spec.actor_method_read_only = r.ReadPod<uint8_t>() != 0;
+  spec.actor_class = Take<std::string>(r);
+  return spec;
+}
+
+}  // namespace ray

@@ -1,0 +1,155 @@
+// Tests for actor-handle passing (Section 3.1: "A handle to an actor can be
+// passed to other actors or tasks, making it possible for them to invoke
+// methods on that actor") and the GCS-allocated method-chain indices that
+// make it sound.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/clock.h"
+#include "runtime/api.h"
+
+namespace ray {
+namespace {
+
+class SharedLog {
+ public:
+  int Append(std::string entry) {
+    entries_.push_back(std::move(entry));
+    return static_cast<int>(entries_.size());
+  }
+  std::vector<std::string> Entries() { return entries_; }
+
+ private:
+  std::vector<std::string> entries_;
+};
+
+// A task that receives an actor handle and calls methods on it.
+int WriteViaHandle(ActorHandle log, std::string tag, int count) {
+  Ray ray = Ray::Current();
+  ObjectRef<int> last;
+  for (int i = 0; i < count; ++i) {
+    last = log.Call<int>("Append", tag + ":" + std::to_string(i));
+  }
+  auto n = ray.Get(last, 30'000'000);
+  RAY_CHECK(n.ok()) << n.status().ToString();
+  return *n;
+}
+
+class ActorHandleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_nodes = 3;
+    config.scheduler.total_resources = ResourceSet::Cpu(2);
+    config.net.control_latency_us = 5;
+    cluster_ = std::make_unique<Cluster>(config);
+    cluster_->RegisterActorClass<SharedLog>("SharedLog");
+    cluster_->RegisterActorMethod("SharedLog", "Append", &SharedLog::Append);
+    cluster_->RegisterActorMethod("SharedLog", "Entries", &SharedLog::Entries,
+                                  /*read_only=*/true);
+    cluster_->RegisterFunction("write_via_handle", &WriteViaHandle);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(ActorHandleTest, HandlePassedIntoTask) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  ActorHandle log = ray.CreateActor("SharedLog");
+  // The handle rides into the task as an ordinary argument.
+  auto n = ray.Get(ray.Call<int>("write_via_handle", log, std::string("task"), 5), 30'000'000);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 5);
+  auto entries = ray.Get(log.Call<std::vector<std::string>>("Entries"), 10'000'000);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 5u);
+  EXPECT_EQ((*entries)[0], "task:0");
+}
+
+TEST_F(ActorHandleTest, DriverAndTaskInterleaveOnOneChain) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  ActorHandle log = ray.CreateActor("SharedLog");
+  // Driver writes while a task holding a handle copy also writes; every
+  // method must apply exactly once on the single chain.
+  auto task_done = ray.Call<int>("write_via_handle", log, std::string("remote"), 10);
+  for (int i = 0; i < 10; ++i) {
+    log.Call<int>("Append", "driver:" + std::to_string(i));
+  }
+  ASSERT_TRUE(ray.Get(task_done, 60'000'000).ok());
+  auto entries = ray.Get(log.Call<std::vector<std::string>>("Entries"), 30'000'000);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 20u);
+  int driver_seen = 0;
+  int remote_seen = 0;
+  for (const auto& e : *entries) {
+    if (e.rfind("driver:", 0) == 0) {
+      ++driver_seen;
+    }
+    if (e.rfind("remote:", 0) == 0) {
+      ++remote_seen;
+    }
+  }
+  EXPECT_EQ(driver_seen, 10);
+  EXPECT_EQ(remote_seen, 10);
+}
+
+TEST_F(ActorHandleTest, ConcurrentCallersGetDistinctChainIndices) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  ActorHandle log = ray.CreateActor("SharedLog");
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      ActorHandle copy = log;
+      for (int i = 0; i < 10; ++i) {
+        copy.Call<int>("Append", std::to_string(t));
+      }
+    });
+  }
+  for (auto& w : writers) {
+    w.join();
+  }
+  auto entries = ray.Get(log.Call<std::vector<std::string>>("Entries"), 60'000'000);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 40u) << "GCS chain indices must never collide";
+}
+
+// The pattern the paper's ES implementation uses (Section 5.3.1): an
+// aggregation tree where inner actors hold handles to the root.
+class Accum {
+ public:
+  float Add(float x) { return total_ += x; }
+  float Total() { return total_; }
+
+ private:
+  float total_ = 0;
+};
+
+float LeafWork(ActorHandle root, float value) {
+  Ray ray = Ray::Current();
+  auto r = ray.Get(root.Call<float>("Add", value), 30'000'000);
+  RAY_CHECK(r.ok());
+  return *r;
+}
+
+TEST_F(ActorHandleTest, AggregationTreePattern) {
+  cluster_->RegisterActorClass<Accum>("Accum");
+  cluster_->RegisterActorMethod("Accum", "Add", &Accum::Add);
+  cluster_->RegisterActorMethod("Accum", "Total", &Accum::Total, /*read_only=*/true);
+  cluster_->RegisterFunction("leaf_work", &LeafWork);
+
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  ActorHandle root = ray.CreateActor("Accum");
+  std::vector<ObjectRef<float>> leaves;
+  for (int i = 1; i <= 8; ++i) {
+    leaves.push_back(ray.Call<float>("leaf_work", root, static_cast<float>(i)));
+  }
+  auto done = ray.GetAll(leaves, 60'000'000);
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+  auto total = ray.Get(root.Call<float>("Total"), 10'000'000);
+  ASSERT_TRUE(total.ok());
+  EXPECT_FLOAT_EQ(*total, 36.0f);  // 1+2+...+8
+}
+
+}  // namespace
+}  // namespace ray

@@ -1,0 +1,166 @@
+// API-surface tests: ObjectRef semantics, Wait edge cases, custom-type
+// serialization through the full task path, resource-targeted placement,
+// error propagation, and multi-driver interaction.
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "runtime/api.h"
+
+namespace ray {
+namespace {
+
+struct Point {
+  double x = 0;
+  double y = 0;
+
+  void SerializeTo(Writer& w) const {
+    Put(w, x);
+    Put(w, y);
+  }
+  static Point DeserializeFrom(Reader& r) {
+    Point p;
+    p.x = Take<double>(r);
+    p.y = Take<double>(r);
+    return p;
+  }
+};
+
+Point Midpoint(Point a, Point b) { return Point{(a.x + b.x) / 2, (a.y + b.y) / 2}; }
+
+int SlowEcho(int v, int sleep_ms) {
+  SleepMicros(static_cast<int64_t>(sleep_ms) * 1000);
+  return v;
+}
+
+std::string WhereAmI() {
+  const ExecutionContext* ctx = CurrentExecutionContext();
+  return ctx != nullptr ? ctx->node.Hex() : "";
+}
+
+class ApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.num_nodes = 3;
+    config.scheduler.total_resources = ResourceSet::Cpu(2);
+    config.net.control_latency_us = 5;
+    cluster_ = std::make_unique<Cluster>(config);
+    cluster_->RegisterFunction("midpoint", &Midpoint);
+    cluster_->RegisterFunction("slow_echo", &SlowEcho);
+    cluster_->RegisterFunction("where_am_i", &WhereAmI);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(ApiTest, CustomTypeFlowsThroughTasks) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  auto a = ray.Put(Point{0, 0});
+  auto b = ray.Put(Point{4, 2});
+  auto mid = ray.Get(ray.Call<Point>("midpoint", a, b), 10'000'000);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_DOUBLE_EQ(mid->x, 2.0);
+  EXPECT_DOUBLE_EQ(mid->y, 1.0);
+}
+
+TEST_F(ApiTest, ObjectRefEqualityAndNil) {
+  ObjectRef<int> nil;
+  EXPECT_TRUE(nil.IsNil());
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  auto a = ray.Put(1);
+  auto b = ray.Put(1);
+  EXPECT_FALSE(a.IsNil());
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);  // distinct objects even with equal values
+}
+
+TEST_F(ApiTest, WaitZeroTimeoutReturnsOnlyFinished) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  auto slow = ray.Call<int>("slow_echo", 1, 500);
+  auto done = ray.Put(2);
+  auto ready = ray.Wait(std::vector<ObjectId>{slow.id(), done.id()}, 2, /*timeout_us=*/1000);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 1u);  // only the put object is available
+  // Let the slow task finish to avoid teardown noise.
+  ASSERT_TRUE(ray.Get(slow, 10'000'000).ok());
+}
+
+TEST_F(ApiTest, WaitKLargerThanListClampsToAll) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  std::vector<ObjectRef<int>> refs = {ray.Put(1), ray.Put(2)};
+  auto ready = ray.Wait(refs, 10, 1'000'000);
+  EXPECT_EQ(ready.size(), 2u);
+}
+
+TEST_F(ApiTest, WaitHeterogeneousDurationsReturnsFastFirst) {
+  // The motivating use of ray.wait (Section 3.1): react to fast simulations
+  // without waiting on stragglers.
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  auto slow = ray.Call<int>("slow_echo", 1, 400);
+  auto fast = ray.Call<int>("slow_echo", 2, 5);
+  Timer timer;
+  auto ready = ray.Wait(std::vector<ObjectId>{slow.id(), fast.id()}, 1, 10'000'000);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], 1u) << "the fast task must be the one reported ready";
+  EXPECT_LT(timer.ElapsedMicros(), 300'000) << "wait must not block on the straggler";
+  ASSERT_TRUE(ray.Get(slow, 10'000'000).ok());
+}
+
+TEST_F(ApiTest, GetTimeoutSurfacesAsStatus) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  ObjectRef<int> never(ObjectId::FromRandom());
+  auto r = ray.Get(never, 50'000);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimedOut);
+}
+
+TEST_F(ApiTest, ResourceTargetedPlacementLandsOnTaggedNode) {
+  NodeId special = cluster_->AddNodeWithResources(ResourceSet{{"CPU", 2}, {"FPGA", 1}});
+  SleepMicros(30'000);  // heartbeat
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  auto where = ray.Get(
+      ray.CallWithResources<std::string>("where_am_i", ResourceSet{{"CPU", 1}, {"FPGA", 1}}),
+      10'000'000);
+  ASSERT_TRUE(where.ok());
+  EXPECT_EQ(*where, special.Hex());
+}
+
+TEST_F(ApiTest, TwoDriversShareObjects) {
+  Ray alice = Ray::OnNode(*cluster_, 0);
+  Ray bob = Ray::OnNode(*cluster_, 1);
+  auto from_alice = alice.Put(std::string("hello from node 0"));
+  auto seen_by_bob = bob.Get(from_alice, 10'000'000);
+  ASSERT_TRUE(seen_by_bob.ok());
+  EXPECT_EQ(*seen_by_bob, "hello from node 0");
+  // And bob's tasks can consume alice's objects directly.
+  auto p = alice.Put(Point{1, 1});
+  auto q = bob.Put(Point{3, 3});
+  auto mid = bob.Get(bob.Call<Point>("midpoint", p, q), 10'000'000);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_DOUBLE_EQ(mid->x, 2.0);
+}
+
+TEST_F(ApiTest, GetAllPropagatesFirstError) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  std::vector<ObjectRef<int>> refs = {ray.Put(1), ObjectRef<int>(ObjectId::FromRandom())};
+  auto all = ray.GetAll(refs, 100'000);
+  EXPECT_FALSE(all.ok());
+  EXPECT_EQ(all.status().code(), StatusCode::kTimedOut);
+}
+
+TEST_F(ApiTest, NestedTasksSeeOwnNode) {
+  // Ray::Current() binds nested submissions to the executing node, not the
+  // original driver (bottom-up submission, Section 4.2.2).
+  cluster_->RegisterFunction("nested_where",
+                             std::function<std::string()>([]() -> std::string {
+                               Ray inner = Ray::Current();
+                               return inner.home().Hex();
+                             }));
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  auto where = ray.Get(ray.Call<std::string>("nested_where"), 10'000'000);
+  ASSERT_TRUE(where.ok());
+  EXPECT_FALSE(where->empty());
+}
+
+}  // namespace
+}  // namespace ray

@@ -1,0 +1,327 @@
+// Unit tests for src/common: ids, status/result, buffers, serialization,
+// resources, metrics, queues, sync, and the thread pool. Includes
+// parameterized property-style sweeps for the serialization codecs and
+// resource algebra.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/buffer.h"
+#include "common/clock.h"
+#include "common/id.h"
+#include "common/metrics.h"
+#include "common/queue.h"
+#include "common/random.h"
+#include "common/resource.h"
+#include "common/serialization.h"
+#include "common/status.h"
+#include "common/sync.h"
+#include "common/thread_pool.h"
+
+namespace ray {
+namespace {
+
+// --- ids ---
+
+TEST(IdTest, RandomIdsAreUnique) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(ObjectId::FromRandom().Binary()).second);
+  }
+}
+
+TEST(IdTest, NilDetection) {
+  ObjectId nil;
+  EXPECT_TRUE(nil.IsNil());
+  EXPECT_FALSE(ObjectId::FromRandom().IsNil());
+}
+
+TEST(IdTest, BinaryRoundTrip) {
+  TaskId id = TaskId::FromRandom();
+  EXPECT_EQ(TaskId::FromBinary(id.Binary()), id);
+  EXPECT_EQ(id.Binary().size(), TaskId::kSize);
+  EXPECT_EQ(id.Hex().size(), TaskId::kSize * 2);
+}
+
+TEST(IdTest, DeriveIsDeterministicAndDistinct) {
+  TaskId task = TaskId::FromRandom();
+  EXPECT_EQ(task.Derive(0), task.Derive(0));
+  EXPECT_NE(task.Derive(0), task.Derive(1));
+  EXPECT_NE(task.Derive(0).Cast<ObjectIdTag>().Binary(), task.Binary());
+}
+
+TEST(IdTest, ReturnIdsDeterministicAcrossReexecution) {
+  // The heart of lineage-based reconstruction: re-running the same task spec
+  // must reproduce the same object ids.
+  TaskId task = TaskId::FromRandom();
+  EXPECT_EQ(ObjectIdForReturn(task, 0), ObjectIdForReturn(task, 0));
+  EXPECT_NE(ObjectIdForReturn(task, 0), ObjectIdForReturn(task, 1));
+}
+
+TEST(IdTest, ActorCursorsFormAChain) {
+  ActorId actor = ActorId::FromRandom();
+  std::set<std::string> cursors;
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(cursors.insert(ActorCursorId(actor, i).Binary()).second);
+  }
+  EXPECT_EQ(ActorCursorId(actor, 5), ActorCursorId(actor, 5));
+}
+
+// --- status / result ---
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status s = Status::KeyNotFound("missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kKeyNotFound);
+  EXPECT_NE(s.ToString().find("missing"), std::string::npos);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(0), 42);
+
+  Result<int> err = Status::TimedOut();
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kTimedOut);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+// --- serialization: property sweep over sizes ---
+
+class SerializationSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SerializationSizeTest, FloatVectorRoundTrip) {
+  size_t n = GetParam();
+  Rng rng(n + 1);
+  std::vector<float> original = rng.NormalVector(n);
+  auto buf = SerializeValue(original);
+  EXPECT_EQ(DeserializeValue<std::vector<float>>(*buf), original);
+}
+
+TEST_P(SerializationSizeTest, StringRoundTrip) {
+  size_t n = GetParam();
+  std::string s(n, 'x');
+  for (size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<char>('a' + i % 26);
+  }
+  auto buf = SerializeValue(s);
+  EXPECT_EQ(DeserializeValue<std::string>(*buf), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SerializationSizeTest,
+                         ::testing::Values(0, 1, 2, 7, 64, 1000, 65536));
+
+TEST(SerializationTest, NestedContainers) {
+  std::vector<std::pair<std::string, std::vector<int>>> v = {
+      {"a", {1, 2, 3}}, {"", {}}, {"long key here", {42}}};
+  auto buf = SerializeValue(v);
+  EXPECT_EQ((DeserializeValue<std::vector<std::pair<std::string, std::vector<int>>>>(*buf)), v);
+}
+
+TEST(SerializationTest, MapRoundTrip) {
+  std::map<std::string, double> m = {{"CPU", 4.0}, {"GPU", 1.5}};
+  auto buf = SerializeValue(m);
+  EXPECT_EQ((DeserializeValue<std::map<std::string, double>>(*buf)), m);
+}
+
+TEST(SerializationTest, UnderrunThrows) {
+  auto buf = SerializeValue(std::string("hello"));
+  Reader r(buf->Data(), 2);  // truncated
+  EXPECT_THROW(Take<std::string>(r), std::out_of_range);
+}
+
+// --- resources ---
+
+TEST(ResourceSetTest, ContainsSubtractAdd) {
+  ResourceSet node{{"CPU", 4}, {"GPU", 2}};
+  ResourceSet demand{{"CPU", 1}, {"GPU", 1}};
+  EXPECT_TRUE(node.Contains(demand));
+  node.Subtract(demand);
+  EXPECT_DOUBLE_EQ(node.Get("CPU"), 3);
+  EXPECT_DOUBLE_EQ(node.Get("GPU"), 1);
+  node.Add(demand);
+  EXPECT_DOUBLE_EQ(node.Get("CPU"), 4);
+}
+
+TEST(ResourceSetTest, MissingResourceFailsContains) {
+  ResourceSet cpu_only = ResourceSet::Cpu(8);
+  EXPECT_FALSE(cpu_only.Contains(ResourceSet{{"GPU", 1}}));
+  EXPECT_TRUE(cpu_only.Contains(ResourceSet{}));  // empty demand always fits
+}
+
+TEST(ResourceSetTest, ZeroQuantityErased) {
+  ResourceSet r{{"CPU", 1}};
+  r.Subtract(ResourceSet{{"CPU", 1}});
+  EXPECT_TRUE(r.IsEmpty());
+}
+
+// Property: for random a ⊇ b, (a - b) + b == a.
+class ResourceAlgebraTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResourceAlgebraTest, SubtractAddRoundTrip) {
+  Rng rng(GetParam());
+  ResourceSet a;
+  ResourceSet b;
+  const char* names[] = {"CPU", "GPU", "mem", "custom"};
+  for (const char* name : names) {
+    double qb = rng.Uniform(0.0, 4.0);
+    double qa = qb + rng.Uniform(0.1, 4.0);
+    a.Set(name, qa);
+    b.Set(name, qb);
+  }
+  ASSERT_TRUE(a.Contains(b));
+  ResourceSet result = a;
+  result.Subtract(b);
+  result.Add(b);
+  for (const char* name : names) {
+    EXPECT_NEAR(result.Get(name), a.Get(name), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResourceAlgebraTest, ::testing::Range(1, 9));
+
+// --- metrics ---
+
+TEST(MetricsTest, EmaConvergesToConstant) {
+  Ema ema(0.5);
+  EXPECT_FALSE(ema.HasValue());
+  for (int i = 0; i < 50; ++i) {
+    ema.Observe(10.0);
+  }
+  EXPECT_NEAR(ema.Value(), 10.0, 1e-6);
+}
+
+TEST(MetricsTest, HistogramPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Observe(i);
+  }
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Min(), 1);
+  EXPECT_DOUBLE_EQ(h.Max(), 100);
+  EXPECT_NEAR(h.Mean(), 50.5, 1e-9);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 1.0);
+  EXPECT_NEAR(h.Percentile(99), 99, 1.1);
+}
+
+TEST(MetricsTest, CounterIsThreadSafe) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        c.Add();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.Value(), 4000u);
+}
+
+// --- queue / sync / thread pool ---
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(q.Push(i));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(*q.Pop(), i);
+  }
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenEnds) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Close();
+  EXPECT_FALSE(q.Push(2));  // rejected after close
+  EXPECT_EQ(*q.Pop(), 1);   // drains existing
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, PopBlocksUntilPush) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    SleepMicros(10'000);
+    q.Push(7);
+  });
+  EXPECT_EQ(*q.Pop(), 7);
+  producer.join();
+}
+
+TEST(BlockingQueueTest, PopWithTimeoutExpires) {
+  BlockingQueue<int> q;
+  Timer t;
+  EXPECT_FALSE(q.PopWithTimeout(std::chrono::milliseconds(20)).has_value());
+  EXPECT_GE(t.ElapsedMicros(), 15'000);
+}
+
+TEST(SyncTest, CountDownLatchReleasesAtZero) {
+  CountDownLatch latch(3);
+  std::thread t([&] {
+    for (int i = 0; i < 3; ++i) {
+      latch.CountDown();
+    }
+  });
+  latch.Wait();
+  t.join();
+  EXPECT_TRUE(latch.WaitFor(std::chrono::milliseconds(1)));
+}
+
+TEST(SyncTest, NotificationWaitFor) {
+  Notification n;
+  EXPECT_FALSE(n.WaitFor(std::chrono::milliseconds(5)));
+  n.Notify();
+  EXPECT_TRUE(n.WaitFor(std::chrono::milliseconds(5)));
+  EXPECT_TRUE(n.HasBeenNotified());
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedWork) {
+  ThreadPool pool(4);
+  Counter done;
+  CountDownLatch latch(100);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] {
+      done.Add();
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  EXPECT_EQ(done.Value(), 100u);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  Counter done;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { done.Add(); });
+    }
+  }  // destructor drains
+  EXPECT_EQ(done.Value(), 50u);
+}
+
+// --- buffer ---
+
+TEST(BufferTest, CopiesSourceBytes) {
+  std::string src = "immutable";
+  Buffer b(src.data(), src.size());
+  EXPECT_EQ(b.ToString(), src);
+  EXPECT_EQ(b.Size(), src.size());
+}
+
+TEST(BufferTest, FromString) {
+  auto b = Buffer::FromString("abc");
+  EXPECT_EQ(b->Size(), 3u);
+  EXPECT_EQ(b->ToString(), "abc");
+}
+
+}  // namespace
+}  // namespace ray

@@ -1,0 +1,322 @@
+// Unit tests for the GCS: KV shards, chain replication (including kill +
+// rejoin with state transfer), the sharded pub-sub front-end, flushing, and
+// every typed table.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "gcs/chain.h"
+#include "gcs/gcs.h"
+#include "gcs/kv_store.h"
+#include "gcs/tables.h"
+
+namespace ray {
+namespace gcs {
+namespace {
+
+// --- KvStore ---
+
+TEST(KvStoreTest, PutGetDelete) {
+  KvStore kv;
+  kv.Put("k", "v");
+  EXPECT_EQ(*kv.Get("k"), "v");
+  kv.Put("k", "v2");  // overwrite
+  EXPECT_EQ(*kv.Get("k"), "v2");
+  EXPECT_TRUE(kv.Delete("k"));
+  EXPECT_FALSE(kv.Get("k").has_value());
+  EXPECT_FALSE(kv.Delete("k"));
+}
+
+TEST(KvStoreTest, AppendBuildsList) {
+  KvStore kv;
+  kv.Append("list", "a");
+  kv.Append("list", "b");
+  auto list = kv.GetList("list");
+  ASSERT_TRUE(list.has_value());
+  EXPECT_EQ(*list, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(KvStoreTest, MemoryAccountingTracksBytes) {
+  KvStore kv;
+  EXPECT_EQ(kv.MemoryBytes(), 0u);
+  kv.Put("key", std::string(100, 'v'));
+  EXPECT_EQ(kv.MemoryBytes(), 103u);
+  kv.Put("key", std::string(50, 'v'));  // overwrite shrinks
+  EXPECT_EQ(kv.MemoryBytes(), 53u);
+  kv.Delete("key");
+  EXPECT_EQ(kv.MemoryBytes(), 0u);
+}
+
+TEST(KvStoreTest, FlushMovesToDiskButStaysReadable) {
+  KvStore kv;
+  kv.Put("task:1", "spec");
+  kv.Put("obj:1", "loc");
+  size_t moved = kv.Flush([](const std::string& k) { return k.rfind("task:", 0) == 0; });
+  EXPECT_GT(moved, 0u);
+  EXPECT_EQ(kv.MemoryBytes(), 5u + 3u);  // only obj:1 remains in memory
+  EXPECT_GT(kv.DiskBytes(), 0u);
+  EXPECT_EQ(*kv.Get("task:1"), "spec");  // transparent read-through
+}
+
+TEST(KvStoreTest, CopyFromReplicatesEverything) {
+  KvStore a;
+  a.Put("x", "1");
+  a.Append("l", "e");
+  KvStore b;
+  b.Put("stale", "gone");
+  b.CopyFrom(a);
+  EXPECT_EQ(*b.Get("x"), "1");
+  EXPECT_FALSE(b.Get("stale").has_value());
+  EXPECT_EQ(b.GetList("l")->size(), 1u);
+}
+
+// --- chain replication ---
+
+TEST(ChainTest, WritesVisibleToReads) {
+  ChainConfig config;
+  config.num_replicas = 3;
+  config.hop_latency_us = 0;
+  ChainShard chain(config);
+  chain.Put("k", "v");
+  EXPECT_EQ(*chain.Get("k"), "v");
+  EXPECT_TRUE(chain.Contains("k"));
+  EXPECT_EQ(chain.NumLiveReplicas(), 3u);
+}
+
+TEST(ChainTest, SurvivesReplicaFailureWithNoDataLoss) {
+  ChainConfig config;
+  config.num_replicas = 2;
+  config.hop_latency_us = 0;
+  config.failure_detection_us = 100;
+  ChainShard chain(config);
+  for (int i = 0; i < 100; ++i) {
+    chain.Put("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  chain.KillReplica(0);  // kill the head
+  // All reads and writes still succeed; the chain reconfigures in-line.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(*chain.Get("k" + std::to_string(i)), "v" + std::to_string(i));
+  }
+  chain.Put("after", "failure");
+  EXPECT_EQ(*chain.Get("after"), "failure");
+  EXPECT_EQ(chain.NumReconfigurations(), 1);
+  EXPECT_EQ(chain.NumLiveReplicas(), 2u);  // replacement spliced in
+}
+
+TEST(ChainTest, SequentialFailuresEventuallyRecover) {
+  ChainConfig config;
+  config.num_replicas = 2;
+  config.hop_latency_us = 0;
+  config.failure_detection_us = 100;
+  ChainShard chain(config);
+  chain.Put("durable", "yes");
+  for (int round = 0; round < 3; ++round) {
+    chain.KillReplica(round % 2);
+    EXPECT_EQ(*chain.Get("durable"), "yes") << "round " << round;
+  }
+  EXPECT_EQ(chain.NumReconfigurations(), 3);
+}
+
+TEST(ChainTest, ConcurrentClientsDuringFailure) {
+  ChainConfig config;
+  config.num_replicas = 2;
+  config.hop_latency_us = 0;
+  config.failure_detection_us = 500;
+  ChainShard chain(config);
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      int i = 0;
+      while (!stop.load()) {
+        std::string key = "c" + std::to_string(c) + ":" + std::to_string(i++);
+        if (!chain.Put(key, "v").ok() || !chain.Get(key).ok()) {
+          ++errors;
+        }
+      }
+    });
+  }
+  SleepMicros(20'000);
+  chain.KillReplica(1);
+  SleepMicros(50'000);
+  stop.store(true);
+  for (auto& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(errors.load(), 0) << "no client should observe an error across reconfiguration";
+}
+
+// --- sharded front-end + pub-sub ---
+
+TEST(GcsTest, RoutesAcrossShards) {
+  GcsConfig config;
+  config.num_shards = 4;
+  Gcs gcs(config);
+  for (int i = 0; i < 100; ++i) {
+    gcs.Put("key" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(gcs.NumEntries(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(gcs.Contains("key" + std::to_string(i)));
+  }
+}
+
+TEST(GcsTest, SubscribeFiresOnPutAndAppend) {
+  Gcs gcs(GcsConfig{});
+  std::vector<std::string> events;
+  uint64_t token = gcs.Subscribe("watched", [&](const std::string&, const std::string& v) {
+    events.push_back(v);
+  });
+  gcs.Put("watched", "a");
+  gcs.Append("watched", "b");
+  gcs.Put("unwatched", "c");
+  EXPECT_EQ(events, (std::vector<std::string>{"a", "b"}));
+  gcs.Unsubscribe("watched", token);
+  gcs.Put("watched", "d");
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(GcsTest, AutoFlushCapsMemory) {
+  GcsConfig config;
+  config.num_shards = 2;
+  config.flush_threshold_bytes = 10'000;
+  Gcs gcs(config);
+  gcs.AddFlushablePrefix("task:");
+  for (int i = 0; i < 1000; ++i) {
+    gcs.Put("task:" + std::to_string(i), std::string(100, 's'));
+  }
+  EXPECT_LE(gcs.MemoryBytes(), 12'000u);
+  EXPECT_GT(gcs.DiskBytes(), 80'000u);
+  // Flushed lineage remains readable (reconstruction reads it back).
+  EXPECT_TRUE(gcs.Get("task:0").ok());
+}
+
+// --- typed tables ---
+
+class TablesTest : public ::testing::Test {
+ protected:
+  TablesTest() : gcs_(GcsConfig{}), tables_(&gcs_) {}
+  Gcs gcs_;
+  GcsTables tables_;
+};
+
+TEST_F(TablesTest, ObjectLocationsAddRemove) {
+  ObjectId obj = ObjectId::FromRandom();
+  NodeId n1 = NodeId::FromRandom();
+  NodeId n2 = NodeId::FromRandom();
+  EXPECT_FALSE(tables_.objects.GetLocations(obj).ok());
+  tables_.objects.AddLocation(obj, n1, 1024);
+  tables_.objects.AddLocation(obj, n2, 1024);
+  auto entry = tables_.objects.GetLocations(obj);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->locations.size(), 2u);
+  EXPECT_EQ(entry->size_bytes, 1024u);
+  tables_.objects.RemoveLocation(obj, n1);
+  entry = tables_.objects.GetLocations(obj);
+  ASSERT_TRUE(entry.ok());
+  ASSERT_EQ(entry->locations.size(), 1u);
+  EXPECT_EQ(entry->locations[0], n2);
+}
+
+TEST_F(TablesTest, DuplicateLocationAddIsIdempotent) {
+  ObjectId obj = ObjectId::FromRandom();
+  NodeId n = NodeId::FromRandom();
+  tables_.objects.AddLocation(obj, n, 10);
+  tables_.objects.AddLocation(obj, n, 10);
+  EXPECT_EQ(tables_.objects.GetLocations(obj)->locations.size(), 1u);
+}
+
+TEST_F(TablesTest, LocationSubscriptionFiresOnAdd) {
+  ObjectId obj = ObjectId::FromRandom();
+  NodeId n = NodeId::FromRandom();
+  std::vector<NodeId> seen;
+  uint64_t token = tables_.objects.SubscribeLocations(
+      obj, [&](const ObjectId&, const NodeId& node) { seen.push_back(node); });
+  tables_.objects.AddLocation(obj, n, 5);
+  tables_.objects.RemoveLocation(obj, n);  // removals do not fire
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], n);
+  tables_.objects.UnsubscribeLocations(obj, token);
+}
+
+TEST_F(TablesTest, CreatingTaskLink) {
+  ObjectId obj = ObjectId::FromRandom();
+  TaskId task = TaskId::FromRandom();
+  tables_.objects.RecordCreatingTask(obj, task);
+  EXPECT_EQ(*tables_.objects.GetCreatingTask(obj), task);
+}
+
+TEST_F(TablesTest, TaskSpecAndState) {
+  TaskId task = TaskId::FromRandom();
+  NodeId node = NodeId::FromRandom();
+  tables_.tasks.AddTask(task, "spec-bytes");
+  EXPECT_EQ(*tables_.tasks.GetSpec(task), "spec-bytes");
+  tables_.tasks.SetState(task, TaskState::kDone, node);
+  auto state = tables_.tasks.GetState(task);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->first, TaskState::kDone);
+  EXPECT_EQ(state->second, node);
+}
+
+TEST_F(TablesTest, ActorLifecycleRecords) {
+  ActorId actor = ActorId::FromRandom();
+  NodeId node = NodeId::FromRandom();
+  tables_.actors.RegisterActor(actor, "creation-spec");
+  tables_.actors.SetLocation(actor, node);
+  EXPECT_EQ(*tables_.actors.GetLocation(actor), node);
+  EXPECT_EQ(*tables_.actors.GetCreationSpec(actor), "creation-spec");
+
+  TaskId m1 = TaskId::FromRandom();
+  TaskId m2 = TaskId::FromRandom();
+  tables_.actors.AppendMethod(actor, m1);
+  tables_.actors.AppendMethod(actor, m2);
+  auto log = tables_.actors.GetMethodLog(actor);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(*log, (std::vector<TaskId>{m1, m2}));
+
+  tables_.actors.StoreCheckpoint(actor, 17, "state");
+  auto ckpt = tables_.actors.GetCheckpoint(actor);
+  ASSERT_TRUE(ckpt.ok());
+  EXPECT_EQ(ckpt->call_index, 17u);
+  EXPECT_EQ(ckpt->state_bytes, "state");
+}
+
+TEST_F(TablesTest, NodeMembershipAndHeartbeats) {
+  NodeId n1 = NodeId::FromRandom();
+  NodeId n2 = NodeId::FromRandom();
+  tables_.nodes.RegisterNode(n1);
+  tables_.nodes.RegisterNode(n2);
+  EXPECT_EQ(tables_.nodes.GetAlive().size(), 2u);
+  tables_.nodes.MarkDead(n1);
+  EXPECT_EQ(tables_.nodes.GetAlive().size(), 1u);
+  EXPECT_FALSE(tables_.nodes.IsAlive(n1));
+  EXPECT_TRUE(tables_.nodes.IsAlive(n2));
+
+  Heartbeat hb;
+  hb.queue_length = 7;
+  hb.avg_task_duration_s = 0.25;
+  hb.available = ResourceSet{{"CPU", 3}};
+  hb.total = ResourceSet{{"CPU", 4}, {"GPU", 1}};
+  tables_.nodes.ReportHeartbeat(n2, hb);
+  auto got = tables_.nodes.GetHeartbeat(n2);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->queue_length, 7u);
+  EXPECT_DOUBLE_EQ(got->avg_task_duration_s, 0.25);
+  EXPECT_DOUBLE_EQ(got->available.Get("CPU"), 3);
+  EXPECT_DOUBLE_EQ(got->total.Get("GPU"), 1);
+}
+
+TEST_F(TablesTest, EventLogAppends) {
+  tables_.events.Append("scheduler", "dispatched t1");
+  tables_.events.Append("scheduler", "dispatched t2");
+  auto events = tables_.events.Get("scheduler");
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->size(), 2u);
+}
+
+}  // namespace
+}  // namespace gcs
+}  // namespace ray

@@ -1,0 +1,227 @@
+// Fine-grained unit tests for raylib pieces: VecWorker chunk algebra,
+// SgdWorker shard slicing, serving shapes, ES/PPO record serialization, and
+// environment determinism — the parts integration tests exercise only
+// incidentally.
+#include <gtest/gtest.h>
+
+#include "raylib/allreduce.h"
+#include "raylib/env.h"
+#include "raylib/es.h"
+#include "raylib/ppo.h"
+#include "raylib/serving.h"
+#include "raylib/sgd.h"
+
+namespace ray {
+namespace raylib {
+namespace {
+
+// --- VecWorker chunk algebra ---
+
+class VecWorkerChunkTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(VecWorkerChunkTest, ChunksPartitionTheBuffer) {
+  auto [size, chunks] = GetParam();
+  VecWorker worker;
+  std::vector<float> data(size);
+  for (int i = 0; i < size; ++i) {
+    data[i] = static_cast<float>(i);
+  }
+  worker.SetBuffer(data);
+  std::vector<float> reassembled;
+  for (int c = 0; c < chunks; ++c) {
+    auto chunk = worker.GetChunk(c, chunks);
+    reassembled.insert(reassembled.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(reassembled, data) << "chunks must tile the buffer exactly";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, VecWorkerChunkTest,
+                         ::testing::Combine(::testing::Values(8, 100, 1000, 1023),
+                                            ::testing::Values(1, 2, 7, 8)));
+
+TEST(VecWorkerTest, AccumAndSetChunk) {
+  VecWorker worker;
+  worker.SetBuffer(std::vector<float>(10, 1.0f));
+  worker.AccumChunk(0, 2, std::vector<float>(5, 2.0f));
+  auto buf = worker.GetBuffer();
+  EXPECT_FLOAT_EQ(buf[0], 3.0f);
+  EXPECT_FLOAT_EQ(buf[4], 3.0f);
+  EXPECT_FLOAT_EQ(buf[5], 1.0f);
+  worker.SetChunk(1, 2, std::vector<float>(5, 9.0f));
+  buf = worker.GetBuffer();
+  EXPECT_FLOAT_EQ(buf[5], 9.0f);
+  EXPECT_FLOAT_EQ(buf[0], 3.0f);
+}
+
+// --- SgdWorker shards ---
+
+TEST(SgdWorkerTest, ShardsRoundTripParameters) {
+  SgdWorker worker;
+  int nparams = worker.Init({8, 16, 4}, 1, 2, /*num_shards=*/3, 0);
+  ASSERT_GT(nparams, 0);
+  // Write recognizable values into shard 1 and read the full params back.
+  auto before = worker.GetParams();
+  int shard1_size = static_cast<int>(worker.GetGradShard(1).size());
+  (void)shard1_size;
+  std::vector<float> marker(worker.GetParams().size() / 3, 42.0f);
+  marker.resize(static_cast<size_t>(nparams) / 3);
+  worker.SetParamsShard(1, marker);
+  auto after = worker.GetParams();
+  size_t per = after.size() / 3;
+  EXPECT_EQ(after[0], before[0]) << "shard 0 untouched";
+  EXPECT_FLOAT_EQ(after[per], 42.0f) << "shard 1 overwritten";
+}
+
+TEST(SgdWorkerTest, GradientChunksCoverAllParams) {
+  SgdWorker worker;
+  int nparams = worker.Init({8, 16, 4}, 1, 2, 1, 0);
+  worker.ComputeGrad();
+  size_t total = 0;
+  for (int c = 0; c < 4; ++c) {
+    total += worker.GetGradChunk(c, 4).size();
+  }
+  EXPECT_EQ(total, static_cast<size_t>(nparams));
+}
+
+// --- serving shapes ---
+
+TEST(PolicyServerTest, BatchShapes) {
+  PolicyServer server;
+  server.Init({16, 8, 4}, 0);
+  Rng rng(1);
+  auto actions = server.Evaluate(rng.NormalVector(16 * 3), 3);
+  EXPECT_EQ(actions.size(), 3u * 4u);
+  EXPECT_EQ(server.NumRequests(), 1);
+}
+
+TEST(PolicyServerTest, OversizedStatesUsePrefix) {
+  // Payload rows larger than the model input read the leading features
+  // (bench_serving decouples payload size from compute this way).
+  PolicyServer server;
+  server.Init({4, 2}, 0);
+  Rng rng(2);
+  auto actions = server.Evaluate(rng.NormalVector(100 * 2), 2);
+  EXPECT_EQ(actions.size(), 2u * 2u);
+}
+
+// --- record serialization ---
+
+TEST(EsResultTest, RoundTrip) {
+  EsResult r;
+  r.seed = 123456789;
+  r.fitness_pos = 1.5f;
+  r.fitness_neg = -0.5f;
+  r.steps = 321;
+  auto buf = SerializeValue(r);
+  EsResult copy = DeserializeValue<EsResult>(*buf);
+  EXPECT_EQ(copy.seed, r.seed);
+  EXPECT_EQ(copy.fitness_pos, r.fitness_pos);
+  EXPECT_EQ(copy.fitness_neg, r.fitness_neg);
+  EXPECT_EQ(copy.steps, r.steps);
+}
+
+TEST(TrajectoryTest, RoundTrip) {
+  Trajectory t;
+  t.seed = 42;
+  t.total_reward = -3.25f;
+  t.steps = 2;
+  t.features = {1.0f, 2.0f, 3.0f};
+  auto buf = SerializeValue(t);
+  Trajectory copy = DeserializeValue<Trajectory>(*buf);
+  EXPECT_EQ(copy.seed, 42u);
+  EXPECT_EQ(copy.features, t.features);
+}
+
+// --- ES math ---
+
+TEST(EsEvaluateTest, DeterministicForSameSeed) {
+  Rng rng(5);
+  auto policy = rng.NormalVector(16 * 4 + 4, 0.0, 0.05);
+  auto a = EsEvaluate(policy, 99, 0.1f, "humanoid_small", 50);
+  auto b = EsEvaluate(policy, 99, 0.1f, "humanoid_small", 50);
+  EXPECT_EQ(a.fitness_pos, b.fitness_pos);
+  EXPECT_EQ(a.fitness_neg, b.fitness_neg);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+TEST(EsAggregatorTest, MatchesManualFold) {
+  EsAggregator agg;
+  agg.Init(10, 0.5f);
+  EsResult r;
+  r.seed = 7;
+  r.fitness_pos = 2.0f;
+  r.fitness_neg = 1.0f;
+  agg.Add(r);
+  auto grad = agg.Drain();
+  Rng rng(7);
+  auto eps = rng.NormalVector(10);
+  float w = (2.0f - 1.0f) / (2 * 0.5f);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FLOAT_EQ(grad[i], w * eps[i]);
+  }
+  // Drain resets.
+  EXPECT_EQ(agg.NumFolded(), 0);
+  auto empty = agg.Drain();
+  for (float g : empty) {
+    EXPECT_EQ(g, 0.0f);
+  }
+}
+
+TEST(EsEvaluateFullTest, PadsWithZeros) {
+  Rng rng(5);
+  size_t dim = 16 * 4 + 4;  // humanoid_small's linear-policy shape
+  auto policy = rng.NormalVector(dim, 0.0, 0.05);
+  auto grad = EsEvaluateFull(policy, 3, 0.1f, "humanoid_small", 30, 256);
+  ASSERT_EQ(grad.size(), 256u);
+  for (size_t i = dim; i < 256; ++i) {
+    EXPECT_EQ(grad[i], 0.0f);
+  }
+}
+
+// --- environments ---
+
+TEST(EnvTest, RolloutDeterministicPerSeed) {
+  for (const char* name : {"pendulum", "humanoid_small", "pendulum_sim"}) {
+    auto env1 = envs::MakeEnv(name);
+    auto env2 = envs::MakeEnv(name);
+    std::vector<float> policy(
+        static_cast<size_t>(env1->ActionDim()) * env1->StateDim() + env1->ActionDim(), 0.01f);
+    int s1 = 0;
+    int s2 = 0;
+    float r1 = envs::RolloutLinearPolicy(*env1, policy, 5, 100, &s1);
+    float r2 = envs::RolloutLinearPolicy(*env2, policy, 5, 100, &s2);
+    EXPECT_EQ(r1, r2) << name;
+    EXPECT_EQ(s1, s2) << name;
+  }
+}
+
+TEST(EnvTest, MakeEnvKnowsAllNames) {
+  for (const char* name :
+       {"pendulum", "humanoid", "humanoid_small", "pendulum_sim", "humanoid_sim"}) {
+    EXPECT_NE(envs::MakeEnv(name), nullptr) << name;
+  }
+}
+
+// --- nn extras ---
+
+TEST(MlpExtraTest, AxpyMovesParameters) {
+  nn::Mlp model({2, 2}, 1);
+  auto before = model.Params();
+  std::vector<float> delta(model.NumParams(), 1.0f);
+  model.AxpyParams(delta, 0.5f);
+  auto after = model.Params();
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(after[i], before[i] + 0.5f);
+  }
+}
+
+TEST(MlpExtraTest, SetParamsRejectsWrongSizeInDebug) {
+  nn::Mlp model({2, 2}, 1);
+  std::vector<float> right(model.NumParams(), 0.0f);
+  model.SetParams(right);  // fine
+  EXPECT_EQ(model.Params().size(), right.size());
+}
+
+}  // namespace
+}  // namespace raylib
+}  // namespace ray

@@ -1,0 +1,201 @@
+// End-to-end tests of the runtime: tasks, futures, actors, nested tasks,
+// locality, and the Fig. 7 control flow.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "runtime/api.h"
+
+namespace ray {
+namespace {
+
+int Add(int a, int b) { return a + b; }
+std::vector<float> MakeVector(int n, float v) { return std::vector<float>(n, v); }
+float SumVector(std::vector<float> v) { return std::accumulate(v.begin(), v.end(), 0.0f); }
+
+ClusterConfig SmallClusterConfig(int nodes) {
+  ClusterConfig config;
+  config.num_nodes = nodes;
+  config.scheduler.total_resources = ResourceSet::Cpu(2);
+  config.net.latency_us = 10;
+  config.net.control_latency_us = 5;
+  return config;
+}
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>(SmallClusterConfig(3));
+    cluster_->RegisterFunction("add", &Add);
+    cluster_->RegisterFunction("make_vector", &MakeVector);
+    cluster_->RegisterFunction("sum_vector", &SumVector);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(RuntimeTest, PutGetRoundTrip) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  auto ref = ray.Put(std::string("hello world"));
+  auto v = ray.Get(ref);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, "hello world");
+}
+
+TEST_F(RuntimeTest, RemoteFunctionReturnsFuture) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  auto ref = ray.Call<int>("add", 2, 3);
+  auto v = ray.Get(ref, 5'000'000);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST_F(RuntimeTest, FuturesChainWithoutGetting) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  auto a = ray.Call<int>("add", 1, 1);
+  auto b = ray.Call<int>("add", a, 3);   // future passed as argument
+  auto c = ray.Call<int>("add", a, b);
+  auto v = ray.Get(c, 5'000'000);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, 7);  // 2 + 5
+}
+
+TEST_F(RuntimeTest, LargeObjectFlowsThroughStore) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  auto vec = ray.Call<std::vector<float>>("make_vector", 1 << 20, 0.5f);
+  auto sum = ray.Call<float>("sum_vector", vec);
+  auto v = ray.Get(sum, 10'000'000);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_FLOAT_EQ(*v, 0.5f * (1 << 20));
+}
+
+TEST_F(RuntimeTest, GetFromDifferentNodeReplicates) {
+  Ray driver0 = Ray::OnNode(*cluster_, 0);
+  Ray driver2 = Ray::OnNode(*cluster_, 2);
+  auto ref = driver0.Put(std::vector<float>(1000, 2.0f));
+  auto v = driver2.Get(ref, 5'000'000);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->size(), 1000u);
+  // Replication: both stores now hold a copy.
+  EXPECT_TRUE(cluster_->node(2).store().ContainsLocal(ref.id()));
+}
+
+TEST_F(RuntimeTest, WaitReturnsFirstKReady) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  std::vector<ObjectRef<int>> refs;
+  for (int i = 0; i < 8; ++i) {
+    refs.push_back(ray.Call<int>("add", i, i));
+  }
+  auto ready = ray.Wait(refs, 3, 5'000'000);
+  EXPECT_GE(ready.size(), 3u);
+  auto all = ray.Wait(refs, 8, 5'000'000);
+  EXPECT_EQ(all.size(), 8u);
+}
+
+TEST_F(RuntimeTest, ManyParallelTasks) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  std::vector<ObjectRef<int>> refs;
+  for (int i = 0; i < 200; ++i) {
+    refs.push_back(ray.Call<int>("add", i, 1));
+  }
+  auto values = ray.GetAll(refs, 30'000'000);
+  ASSERT_TRUE(values.ok()) << values.status().ToString();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ((*values)[i], i + 1);
+  }
+}
+
+// --- actors ---
+
+class Counter {
+ public:
+  int Add(int x) {
+    total_ += x;
+    return total_;
+  }
+  int Total() { return total_; }
+
+  void SaveCheckpoint(Writer& w) const { Put(w, total_); }
+  void RestoreCheckpoint(Reader& r) { total_ = Take<int>(r); }
+
+ private:
+  int total_ = 0;
+};
+
+class ActorTest : public RuntimeTest {
+ protected:
+  void SetUp() override {
+    RuntimeTest::SetUp();
+    cluster_->RegisterActorClass<Counter>("Counter");
+    cluster_->RegisterActorMethod("Counter", "Add", &Counter::Add);
+    cluster_->RegisterActorMethod("Counter", "Total", &Counter::Total);
+  }
+};
+
+TEST_F(ActorTest, MethodsExecuteSeriallyInOrder) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  ActorHandle counter = ray.CreateActor("Counter");
+  std::vector<ObjectRef<int>> refs;
+  for (int i = 1; i <= 50; ++i) {
+    refs.push_back(counter.Call<int>("Add", i));
+  }
+  auto values = ray.GetAll(refs, 30'000'000);
+  ASSERT_TRUE(values.ok()) << values.status().ToString();
+  int expected = 0;
+  for (int i = 1; i <= 50; ++i) {
+    expected += i;
+    EXPECT_EQ((*values)[i - 1], expected);  // strict stateful-edge order
+  }
+}
+
+TEST_F(ActorTest, MultipleActorsIndependentState) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  ActorHandle a = ray.CreateActor("Counter");
+  ActorHandle b = ray.CreateActor("Counter");
+  a.Call<int>("Add", 10);
+  b.Call<int>("Add", 1);
+  auto ta = ray.Get(a.Call<int>("Total"), 5'000'000);
+  auto tb = ray.Get(b.Call<int>("Total"), 5'000'000);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  EXPECT_EQ(*ta, 10);
+  EXPECT_EQ(*tb, 1);
+}
+
+TEST_F(ActorTest, HandleCopiesShareCallChain) {
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  ActorHandle a = ray.CreateActor("Counter");
+  ActorHandle copy = a;
+  a.Call<int>("Add", 1);
+  copy.Call<int>("Add", 2);
+  auto total = ray.Get(a.Call<int>("Total"), 5'000'000);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 3);
+}
+
+// --- nested tasks ---
+
+int NestedFanout(int n) {
+  Ray ray = Ray::Current();
+  std::vector<ObjectRef<int>> refs;
+  for (int i = 0; i < n; ++i) {
+    refs.push_back(ray.Call<int>("add", i, 0));
+  }
+  auto values = ray.GetAll(refs, 10'000'000);
+  RAY_CHECK(values.ok());
+  int total = 0;
+  for (int v : *values) {
+    total += v;
+  }
+  return total;
+}
+
+TEST_F(RuntimeTest, NestedRemoteFunctions) {
+  cluster_->RegisterFunction("nested_fanout", &NestedFanout);
+  Ray ray = Ray::OnNode(*cluster_, 0);
+  auto v = ray.Get(ray.Call<int>("nested_fanout", 10), 20'000'000);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, 45);
+}
+
+}  // namespace
+}  // namespace ray

@@ -1,0 +1,137 @@
+// Soak test: a randomized mixed workload — tasks with dependencies, actor
+// method streams, puts/gets/waits, multi-output calls — runs across repeated
+// node failures and additions, and every computed value must still be
+// exactly right at the end. This is the "everything at once" invariant the
+// individual suites check piecewise.
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "runtime/api.h"
+
+namespace ray {
+namespace {
+
+int64_t Mix(int64_t a, int64_t b) { return a * 1315423911LL + b; }
+
+std::pair<int64_t, int64_t> SplitMix(int64_t v) { return {v * 31, v * 17}; }
+
+class Ledger {
+ public:
+  int64_t Record(int64_t v) {
+    sum_ += v;
+    ++count_;
+    return sum_;
+  }
+  int64_t Sum() { return sum_; }
+  int64_t Count() { return count_; }
+
+  void SaveCheckpoint(Writer& w) const {
+    Put(w, sum_);
+    Put(w, count_);
+  }
+  void RestoreCheckpoint(Reader& r) {
+    sum_ = Take<int64_t>(r);
+    count_ = Take<int64_t>(r);
+  }
+
+ private:
+  int64_t sum_ = 0;
+  int64_t count_ = 0;
+};
+
+TEST(SoakTest, MixedWorkloadSurvivesChurn) {
+  ClusterConfig config;
+  config.num_nodes = 5;
+  config.scheduler.total_resources = ResourceSet::Cpu(2);
+  config.scheduler.spillover_queue_threshold = 2;
+  config.actor_checkpoint_interval = 7;
+  config.net.control_latency_us = 5;
+  Cluster cluster(config);
+  cluster.RegisterFunction("mix", &Mix);
+  cluster.RegisterFunction2("split_mix", std::function<std::pair<int64_t, int64_t>(int64_t)>(
+                                              &SplitMix));
+  cluster.RegisterActorClass<Ledger>("Ledger");
+  cluster.RegisterActorMethod("Ledger", "Record", &Ledger::Record);
+  cluster.RegisterActorMethod("Ledger", "Sum", &Ledger::Sum, /*read_only=*/true);
+  cluster.RegisterActorMethod("Ledger", "Count", &Ledger::Count, /*read_only=*/true);
+
+  NodeId actor_node = cluster.AddNodeWithResources(ResourceSet{{"CPU", 1}, {"ledger", 1}});
+  Ray ray = Ray::OnNode(cluster, 0);
+  ActorHandle ledger = ray.CreateActor("Ledger", ResourceSet{{"CPU", 1}, {"ledger", 1}});
+  cluster.AddNodeWithResources(ResourceSet{{"CPU", 1}, {"ledger", 1}});  // recovery spare
+
+  Rng rng(2024);
+  int64_t expected_sum = 0;
+  int64_t expected_count = 0;
+  std::vector<std::pair<ObjectRef<int64_t>, int64_t>> pending;  // (future, expected)
+
+  auto churn_round = [&](int round) {
+    // A small dependency chain with a multi-output split in the middle.
+    int64_t seed_value = rng.UniformInt(-1000, 1000);
+    auto a = ray.Call<int64_t>("mix", seed_value, int64_t{1});
+    auto [left, right] = ray.Call2<int64_t, int64_t>("split_mix", a);
+    auto joined = ray.Call<int64_t>("mix", left, right);
+    int64_t ea = Mix(seed_value, 1);
+    auto [el, er] = SplitMix(ea);
+    pending.emplace_back(joined, Mix(el, er));
+
+    // Actor traffic.
+    for (int i = 0; i < 4; ++i) {
+      int64_t v = rng.UniformInt(1, 100);
+      ledger.Call<int64_t>("Record", v);
+      expected_sum += v;
+      ++expected_count;
+    }
+
+    // Periodic failure injection: kill a non-driver compute node (round 2)
+    // and the ledger's node (round 4), adding replacements each time.
+    if (round == 2) {
+      cluster.KillNode(3);
+      cluster.AddNode();
+    }
+    if (round == 4) {
+      cluster.KillNode(actor_node);
+    }
+  };
+
+  for (int round = 0; round < 7; ++round) {
+    churn_round(round);
+  }
+
+  for (auto& [future, expected] : pending) {
+    auto v = ray.Get(future, 120'000'000);
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    EXPECT_EQ(*v, expected);
+  }
+  auto sum = ray.Get(ledger.Call<int64_t>("Sum"), 120'000'000);
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  EXPECT_EQ(*sum, expected_sum);
+  auto count = ray.Get(ledger.Call<int64_t>("Count"), 30'000'000);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, expected_count) << "every Record applied exactly once across recovery";
+}
+
+TEST(MultiReturnTest, PairElementsAreIndependentObjects) {
+  ClusterConfig config;
+  config.num_nodes = 2;
+  config.scheduler.total_resources = ResourceSet::Cpu(2);
+  Cluster cluster(config);
+  cluster.RegisterFunction("mix", &Mix);
+  cluster.RegisterFunction2("split_mix",
+                            std::function<std::pair<int64_t, int64_t>(int64_t)>(&SplitMix));
+  Ray ray = Ray::OnNode(cluster, 0);
+
+  auto [left, right] = ray.Call2<int64_t, int64_t>("split_mix", int64_t{10});
+  EXPECT_FALSE(left.id() == right.id());
+  // Each element feeds downstream tasks independently.
+  auto sum = ray.Call<int64_t>("mix", left, right);
+  auto v = ray.Get(sum, 10'000'000);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, Mix(310, 170));
+  EXPECT_EQ(*ray.Get(left, 5'000'000), 310);
+  EXPECT_EQ(*ray.Get(right, 5'000'000), 170);
+}
+
+}  // namespace
+}  // namespace ray

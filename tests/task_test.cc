@@ -1,0 +1,187 @@
+// Unit tests for the task layer: TaskSpec serialization and dependency
+// computation, and the dynamic task graph (data/control/stateful edges,
+// lineage walks, topological order).
+#include <gtest/gtest.h>
+
+#include "task/task_graph.h"
+#include "task/task_spec.h"
+
+namespace ray {
+namespace {
+
+TaskSpec MakeTask(const std::string& name) {
+  TaskSpec spec;
+  spec.id = TaskId::FromRandom();
+  spec.function_name = name;
+  return spec;
+}
+
+TEST(TaskSpecTest, SerializeRoundTrip) {
+  TaskSpec spec = MakeTask("train");
+  spec.args.push_back(TaskArg::ByRef(ObjectId::FromRandom()));
+  spec.args.push_back(TaskArg::ByValue("inline-bytes"));
+  spec.num_returns = 3;
+  spec.resources = ResourceSet{{"CPU", 2}, {"GPU", 1}};
+  spec.parent = TaskId::FromRandom();
+  spec.actor = ActorId::FromRandom();
+  spec.actor_call_index = 42;
+  spec.actor_class = "Simulator";
+  spec.actor_method_read_only = true;
+
+  TaskSpec copy = TaskSpec::Deserialize(spec.Serialize());
+  EXPECT_EQ(copy.id, spec.id);
+  EXPECT_EQ(copy.function_name, "train");
+  ASSERT_EQ(copy.args.size(), 2u);
+  EXPECT_EQ(copy.args[0].kind, TaskArg::Kind::kByRef);
+  EXPECT_EQ(copy.args[0].ref, spec.args[0].ref);
+  EXPECT_EQ(copy.args[1].value, "inline-bytes");
+  EXPECT_EQ(copy.num_returns, 3u);
+  EXPECT_EQ(copy.resources, spec.resources);
+  EXPECT_EQ(copy.parent, spec.parent);
+  EXPECT_EQ(copy.actor, spec.actor);
+  EXPECT_EQ(copy.actor_call_index, 42u);
+  EXPECT_EQ(copy.actor_class, "Simulator");
+  EXPECT_TRUE(copy.actor_method_read_only);
+}
+
+TEST(TaskSpecTest, DependenciesAreByRefArgsOnly) {
+  TaskSpec spec = MakeTask("f");
+  ObjectId ref = ObjectId::FromRandom();
+  spec.args.push_back(TaskArg::ByValue("v"));
+  spec.args.push_back(TaskArg::ByRef(ref));
+  auto deps = spec.Dependencies();
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], ref);
+}
+
+TEST(TaskSpecTest, ActorMethodDependsOnPreviousCursor) {
+  TaskSpec spec = MakeTask("method");
+  spec.actor = ActorId::FromRandom();
+  spec.actor_call_index = 5;
+  auto deps = spec.Dependencies();
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], ActorCursorId(spec.actor, 4));
+  EXPECT_EQ(spec.ResultCursor(), ActorCursorId(spec.actor, 5));
+}
+
+TEST(TaskSpecTest, ReadOnlyMethodSnapshotsCurrentCursor) {
+  // Snapshot semantics: a read-only method at chain position 5 depends on
+  // cursor 5 itself (the state it reads), not cursor 4, and advances nothing.
+  TaskSpec spec = MakeTask("query");
+  spec.actor = ActorId::FromRandom();
+  spec.actor_call_index = 5;
+  spec.actor_method_read_only = true;
+  auto deps = spec.Dependencies();
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], ActorCursorId(spec.actor, 5));
+}
+
+TEST(TaskSpecTest, ReturnIdsAreStable) {
+  TaskSpec spec = MakeTask("f");
+  TaskSpec copy = TaskSpec::Deserialize(spec.Serialize());
+  EXPECT_EQ(spec.ReturnId(0), copy.ReturnId(0));
+}
+
+// --- TaskGraph ---
+
+TEST(TaskGraphTest, DataAndControlEdges) {
+  TaskGraph graph;
+  TaskSpec parent = MakeTask("parent");
+  graph.AddTask(parent);
+
+  TaskSpec child = MakeTask("child");
+  child.parent = parent.id;
+  child.args.push_back(TaskArg::ByRef(parent.ReturnId(0)));
+  graph.AddTask(child);
+
+  EXPECT_EQ(graph.NumTasks(), 2u);
+  EXPECT_EQ(graph.NumEdges(EdgeType::kControl), 1u);
+  EXPECT_EQ(graph.Children(parent.id), std::vector<TaskId>{child.id});
+
+  TaskId producer;
+  ASSERT_TRUE(graph.LookupProducer(parent.ReturnId(0), &producer));
+  EXPECT_EQ(producer, parent.id);
+}
+
+TEST(TaskGraphTest, StatefulEdgesChainActorMethods) {
+  TaskGraph graph;
+  ActorId actor = ActorId::FromRandom();
+
+  TaskSpec creation = MakeTask("__actor_create__");
+  creation.actor = actor;
+  creation.is_actor_creation = true;
+  graph.AddTask(creation);
+
+  for (uint64_t i = 1; i <= 3; ++i) {
+    TaskSpec method = MakeTask("step");
+    method.actor = actor;
+    method.actor_call_index = i;
+    graph.AddTask(method);
+  }
+  EXPECT_EQ(graph.NumEdges(EdgeType::kStateful), 3u);
+
+  // The lineage of method 3's output includes the whole chain back to the
+  // creation, via the stateful (cursor) edges.
+  TaskSpec probe = MakeTask("probe");
+  probe.actor = actor;
+  probe.actor_call_index = 3;
+  auto lineage = graph.LineageOf(probe.PreviousCursor());
+  EXPECT_EQ(lineage.size(), 3u);  // methods 1, 2 and the creation... method 3 not added
+}
+
+TEST(TaskGraphTest, LineageWalksTransitively) {
+  TaskGraph graph;
+  TaskSpec a = MakeTask("a");
+  graph.AddTask(a);
+  TaskSpec b = MakeTask("b");
+  b.args.push_back(TaskArg::ByRef(a.ReturnId(0)));
+  graph.AddTask(b);
+  TaskSpec c = MakeTask("c");
+  c.args.push_back(TaskArg::ByRef(b.ReturnId(0)));
+  graph.AddTask(c);
+
+  auto lineage = graph.LineageOf(c.ReturnId(0));
+  EXPECT_EQ(lineage.size(), 3u);  // c, b, a
+  EXPECT_EQ(lineage[0], c.id);   // BFS from the object: producer first
+}
+
+TEST(TaskGraphTest, TopologicalOrderRespectsDataFlow) {
+  TaskGraph graph;
+  TaskSpec a = MakeTask("a");
+  TaskSpec b = MakeTask("b");
+  b.args.push_back(TaskArg::ByRef(a.ReturnId(0)));
+  TaskSpec c = MakeTask("c");
+  c.args.push_back(TaskArg::ByRef(b.ReturnId(0)));
+  // Insert out of order.
+  graph.AddTask(c);
+  graph.AddTask(a);
+  graph.AddTask(b);
+
+  auto order = graph.TopologicalOrder();
+  ASSERT_EQ(order.size(), 3u);
+  auto pos = [&](const TaskId& id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(a.id), pos(b.id));
+  EXPECT_LT(pos(b.id), pos(c.id));
+}
+
+TEST(TaskGraphTest, AddTaskIsIdempotent) {
+  TaskGraph graph;
+  TaskSpec a = MakeTask("a");
+  graph.AddTask(a);
+  graph.AddTask(a);  // reconstruction re-submission
+  EXPECT_EQ(graph.NumTasks(), 1u);
+}
+
+TEST(TaskGraphTest, DotExportMentionsTasks) {
+  TaskGraph graph;
+  TaskSpec a = MakeTask("my_function");
+  graph.AddTask(a);
+  std::string dot = graph.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("my_function"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ray
