@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_actor_reconstruction.dir/bench_actor_reconstruction.cc.o"
+  "CMakeFiles/bench_actor_reconstruction.dir/bench_actor_reconstruction.cc.o.d"
+  "bench_actor_reconstruction"
+  "bench_actor_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_actor_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

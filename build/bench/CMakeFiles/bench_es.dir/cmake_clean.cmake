@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_es.dir/bench_es.cc.o"
+  "CMakeFiles/bench_es.dir/bench_es.cc.o.d"
+  "bench_es"
+  "bench_es.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_es.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gcs_flush.dir/bench_gcs_flush.cc.o"
+  "CMakeFiles/bench_gcs_flush.dir/bench_gcs_flush.cc.o.d"
+  "bench_gcs_flush"
+  "bench_gcs_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gcs_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_object_store.dir/bench_object_store.cc.o"
+  "CMakeFiles/bench_object_store.dir/bench_object_store.cc.o.d"
+  "bench_object_store"
+  "bench_object_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_object_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_task_reconstruction.dir/bench_task_reconstruction.cc.o"
+  "CMakeFiles/bench_task_reconstruction.dir/bench_task_reconstruction.cc.o.d"
+  "bench_task_reconstruction"
+  "bench_task_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_task_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

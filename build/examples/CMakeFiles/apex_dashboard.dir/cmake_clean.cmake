@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apex_dashboard.dir/apex_dashboard.cpp.o"
+  "CMakeFiles/apex_dashboard.dir/apex_dashboard.cpp.o.d"
+  "apex_dashboard"
+  "apex_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apex_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_pipeline.dir/fault_tolerant_pipeline.cpp.o"
+  "CMakeFiles/fault_tolerant_pipeline.dir/fault_tolerant_pipeline.cpp.o.d"
+  "fault_tolerant_pipeline"
+  "fault_tolerant_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_pendulum_es.dir/rl_pendulum_es.cpp.o"
+  "CMakeFiles/rl_pendulum_es.dir/rl_pendulum_es.cpp.o.d"
+  "rl_pendulum_es"
+  "rl_pendulum_es.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_pendulum_es.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_baselines.dir/mpi.cc.o"
+  "CMakeFiles/ray_baselines.dir/mpi.cc.o.d"
+  "CMakeFiles/ray_baselines.dir/rest_serving.cc.o"
+  "CMakeFiles/ray_baselines.dir/rest_serving.cc.o.d"
+  "libray_baselines.a"
+  "libray_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_common.dir/id.cc.o"
+  "CMakeFiles/ray_common.dir/id.cc.o.d"
+  "CMakeFiles/ray_common.dir/logging.cc.o"
+  "CMakeFiles/ray_common.dir/logging.cc.o.d"
+  "CMakeFiles/ray_common.dir/metrics.cc.o"
+  "CMakeFiles/ray_common.dir/metrics.cc.o.d"
+  "CMakeFiles/ray_common.dir/resource.cc.o"
+  "CMakeFiles/ray_common.dir/resource.cc.o.d"
+  "CMakeFiles/ray_common.dir/status.cc.o"
+  "CMakeFiles/ray_common.dir/status.cc.o.d"
+  "libray_common.a"
+  "libray_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

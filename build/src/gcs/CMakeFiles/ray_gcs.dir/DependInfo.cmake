@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcs/chain.cc" "src/gcs/CMakeFiles/ray_gcs.dir/chain.cc.o" "gcc" "src/gcs/CMakeFiles/ray_gcs.dir/chain.cc.o.d"
+  "/root/repo/src/gcs/gcs.cc" "src/gcs/CMakeFiles/ray_gcs.dir/gcs.cc.o" "gcc" "src/gcs/CMakeFiles/ray_gcs.dir/gcs.cc.o.d"
+  "/root/repo/src/gcs/kv_store.cc" "src/gcs/CMakeFiles/ray_gcs.dir/kv_store.cc.o" "gcc" "src/gcs/CMakeFiles/ray_gcs.dir/kv_store.cc.o.d"
+  "/root/repo/src/gcs/tables.cc" "src/gcs/CMakeFiles/ray_gcs.dir/tables.cc.o" "gcc" "src/gcs/CMakeFiles/ray_gcs.dir/tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ray_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

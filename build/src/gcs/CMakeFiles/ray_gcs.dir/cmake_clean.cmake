@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_gcs.dir/chain.cc.o"
+  "CMakeFiles/ray_gcs.dir/chain.cc.o.d"
+  "CMakeFiles/ray_gcs.dir/gcs.cc.o"
+  "CMakeFiles/ray_gcs.dir/gcs.cc.o.d"
+  "CMakeFiles/ray_gcs.dir/kv_store.cc.o"
+  "CMakeFiles/ray_gcs.dir/kv_store.cc.o.d"
+  "CMakeFiles/ray_gcs.dir/tables.cc.o"
+  "CMakeFiles/ray_gcs.dir/tables.cc.o.d"
+  "libray_gcs.a"
+  "libray_gcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_gcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

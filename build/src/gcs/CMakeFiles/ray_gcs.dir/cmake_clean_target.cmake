@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libray_gcs.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_net.dir/sim_network.cc.o"
+  "CMakeFiles/ray_net.dir/sim_network.cc.o.d"
+  "libray_net.a"
+  "libray_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_objectstore.dir/object_store.cc.o"
+  "CMakeFiles/ray_objectstore.dir/object_store.cc.o.d"
+  "libray_objectstore.a"
+  "libray_objectstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_objectstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

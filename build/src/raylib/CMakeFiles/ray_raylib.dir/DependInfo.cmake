@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raylib/a3c.cc" "src/raylib/CMakeFiles/ray_raylib.dir/a3c.cc.o" "gcc" "src/raylib/CMakeFiles/ray_raylib.dir/a3c.cc.o.d"
+  "/root/repo/src/raylib/allreduce.cc" "src/raylib/CMakeFiles/ray_raylib.dir/allreduce.cc.o" "gcc" "src/raylib/CMakeFiles/ray_raylib.dir/allreduce.cc.o.d"
+  "/root/repo/src/raylib/env.cc" "src/raylib/CMakeFiles/ray_raylib.dir/env.cc.o" "gcc" "src/raylib/CMakeFiles/ray_raylib.dir/env.cc.o.d"
+  "/root/repo/src/raylib/es.cc" "src/raylib/CMakeFiles/ray_raylib.dir/es.cc.o" "gcc" "src/raylib/CMakeFiles/ray_raylib.dir/es.cc.o.d"
+  "/root/repo/src/raylib/nn.cc" "src/raylib/CMakeFiles/ray_raylib.dir/nn.cc.o" "gcc" "src/raylib/CMakeFiles/ray_raylib.dir/nn.cc.o.d"
+  "/root/repo/src/raylib/ppo.cc" "src/raylib/CMakeFiles/ray_raylib.dir/ppo.cc.o" "gcc" "src/raylib/CMakeFiles/ray_raylib.dir/ppo.cc.o.d"
+  "/root/repo/src/raylib/ps.cc" "src/raylib/CMakeFiles/ray_raylib.dir/ps.cc.o" "gcc" "src/raylib/CMakeFiles/ray_raylib.dir/ps.cc.o.d"
+  "/root/repo/src/raylib/replay.cc" "src/raylib/CMakeFiles/ray_raylib.dir/replay.cc.o" "gcc" "src/raylib/CMakeFiles/ray_raylib.dir/replay.cc.o.d"
+  "/root/repo/src/raylib/serving.cc" "src/raylib/CMakeFiles/ray_raylib.dir/serving.cc.o" "gcc" "src/raylib/CMakeFiles/ray_raylib.dir/serving.cc.o.d"
+  "/root/repo/src/raylib/sgd.cc" "src/raylib/CMakeFiles/ray_raylib.dir/sgd.cc.o" "gcc" "src/raylib/CMakeFiles/ray_raylib.dir/sgd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ray_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/ray_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/ray_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/ray_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ray_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/ray_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ray_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

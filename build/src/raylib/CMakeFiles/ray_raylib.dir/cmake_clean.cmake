@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_raylib.dir/a3c.cc.o"
+  "CMakeFiles/ray_raylib.dir/a3c.cc.o.d"
+  "CMakeFiles/ray_raylib.dir/allreduce.cc.o"
+  "CMakeFiles/ray_raylib.dir/allreduce.cc.o.d"
+  "CMakeFiles/ray_raylib.dir/env.cc.o"
+  "CMakeFiles/ray_raylib.dir/env.cc.o.d"
+  "CMakeFiles/ray_raylib.dir/es.cc.o"
+  "CMakeFiles/ray_raylib.dir/es.cc.o.d"
+  "CMakeFiles/ray_raylib.dir/nn.cc.o"
+  "CMakeFiles/ray_raylib.dir/nn.cc.o.d"
+  "CMakeFiles/ray_raylib.dir/ppo.cc.o"
+  "CMakeFiles/ray_raylib.dir/ppo.cc.o.d"
+  "CMakeFiles/ray_raylib.dir/ps.cc.o"
+  "CMakeFiles/ray_raylib.dir/ps.cc.o.d"
+  "CMakeFiles/ray_raylib.dir/replay.cc.o"
+  "CMakeFiles/ray_raylib.dir/replay.cc.o.d"
+  "CMakeFiles/ray_raylib.dir/serving.cc.o"
+  "CMakeFiles/ray_raylib.dir/serving.cc.o.d"
+  "CMakeFiles/ray_raylib.dir/sgd.cc.o"
+  "CMakeFiles/ray_raylib.dir/sgd.cc.o.d"
+  "libray_raylib.a"
+  "libray_raylib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_raylib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_runtime.dir/api.cc.o"
+  "CMakeFiles/ray_runtime.dir/api.cc.o.d"
+  "CMakeFiles/ray_runtime.dir/cluster.cc.o"
+  "CMakeFiles/ray_runtime.dir/cluster.cc.o.d"
+  "CMakeFiles/ray_runtime.dir/node.cc.o"
+  "CMakeFiles/ray_runtime.dir/node.cc.o.d"
+  "libray_runtime.a"
+  "libray_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_scheduler.dir/global_scheduler.cc.o"
+  "CMakeFiles/ray_scheduler.dir/global_scheduler.cc.o.d"
+  "CMakeFiles/ray_scheduler.dir/local_scheduler.cc.o"
+  "CMakeFiles/ray_scheduler.dir/local_scheduler.cc.o.d"
+  "libray_scheduler.a"
+  "libray_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

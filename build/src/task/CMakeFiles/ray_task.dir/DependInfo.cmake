@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/task/task_graph.cc" "src/task/CMakeFiles/ray_task.dir/task_graph.cc.o" "gcc" "src/task/CMakeFiles/ray_task.dir/task_graph.cc.o.d"
+  "/root/repo/src/task/task_spec.cc" "src/task/CMakeFiles/ray_task.dir/task_spec.cc.o" "gcc" "src/task/CMakeFiles/ray_task.dir/task_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ray_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_task.dir/task_graph.cc.o"
+  "CMakeFiles/ray_task.dir/task_graph.cc.o.d"
+  "CMakeFiles/ray_task.dir/task_spec.cc.o"
+  "CMakeFiles/ray_task.dir/task_spec.cc.o.d"
+  "libray_task.a"
+  "libray_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

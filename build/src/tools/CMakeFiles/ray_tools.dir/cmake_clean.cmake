@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_tools.dir/inspector.cc.o"
+  "CMakeFiles/ray_tools.dir/inspector.cc.o.d"
+  "libray_tools.a"
+  "libray_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_handle_test.dir/actor_handle_test.cc.o"
+  "CMakeFiles/actor_handle_test.dir/actor_handle_test.cc.o.d"
+  "actor_handle_test"
+  "actor_handle_test.pdb"
+  "actor_handle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_handle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flush_recovery_test.dir/flush_recovery_test.cc.o"
+  "CMakeFiles/flush_recovery_test.dir/flush_recovery_test.cc.o.d"
+  "flush_recovery_test"
+  "flush_recovery_test.pdb"
+  "flush_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flush_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcs_test.dir/gcs_test.cc.o"
+  "CMakeFiles/gcs_test.dir/gcs_test.cc.o.d"
+  "gcs_test"
+  "gcs_test.pdb"
+  "gcs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net_objectstore_test.cc" "tests/CMakeFiles/net_objectstore_test.dir/net_objectstore_test.cc.o" "gcc" "tests/CMakeFiles/net_objectstore_test.dir/net_objectstore_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ray_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/raylib/CMakeFiles/ray_raylib.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ray_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/ray_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/ray_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/ray_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/ray_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ray_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/task/CMakeFiles/ray_task.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ray_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

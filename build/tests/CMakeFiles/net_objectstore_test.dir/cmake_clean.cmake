@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_objectstore_test.dir/net_objectstore_test.cc.o"
+  "CMakeFiles/net_objectstore_test.dir/net_objectstore_test.cc.o.d"
+  "net_objectstore_test"
+  "net_objectstore_test.pdb"
+  "net_objectstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_objectstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

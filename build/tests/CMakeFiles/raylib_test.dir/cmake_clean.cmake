@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raylib_test.dir/raylib_test.cc.o"
+  "CMakeFiles/raylib_test.dir/raylib_test.cc.o.d"
+  "raylib_test"
+  "raylib_test.pdb"
+  "raylib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raylib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

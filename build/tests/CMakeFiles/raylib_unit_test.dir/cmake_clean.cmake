@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raylib_unit_test.dir/raylib_unit_test.cc.o"
+  "CMakeFiles/raylib_unit_test.dir/raylib_unit_test.cc.o.d"
+  "raylib_unit_test"
+  "raylib_unit_test.pdb"
+  "raylib_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raylib_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_algorithms_test.dir/rl_algorithms_test.cc.o"
+  "CMakeFiles/rl_algorithms_test.dir/rl_algorithms_test.cc.o.d"
+  "rl_algorithms_test"
+  "rl_algorithms_test.pdb"
+  "rl_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_integration_test.dir/runtime_integration_test.cc.o"
+  "CMakeFiles/runtime_integration_test.dir/runtime_integration_test.cc.o.d"
+  "runtime_integration_test"
+  "runtime_integration_test.pdb"
+  "runtime_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

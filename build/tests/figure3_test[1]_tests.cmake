@@ -1,0 +1,3 @@
+add_test([=[Figure3Test.TrainPolicyProgramRunsEndToEnd]=]  /root/repo/build/tests/figure3_test [==[--gtest_filter=Figure3Test.TrainPolicyProgramRunsEndToEnd]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Figure3Test.TrainPolicyProgramRunsEndToEnd]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  figure3_test_TESTS Figure3Test.TrainPolicyProgramRunsEndToEnd)
