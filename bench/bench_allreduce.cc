@@ -90,6 +90,8 @@ int main() {
                 "16 nodes/10MB-1GB -> 8 nodes/1-32MB; 100x time-dilated wire for all systems");
   const int n = 8;
   size_t max_mb = bench::QuickMode() ? 8 : 32;
+  bench::BenchJson json("allreduce");
+  json.Set("nodes", n);
 
   std::printf("%-10s %-14s %-14s %-14s\n", "obj size", "Ray (ms)", "Ray* (ms)", "MPI (ms)");
   for (size_t mb = 1; mb <= max_mb; mb *= 8) {
@@ -112,6 +114,10 @@ int main() {
     auto mpi = baselines::MpiRingAllreduce(net, ranks, elements, iters);
     std::printf("%-10s %-14.1f %-14.1f %-14.1f\n", bench::HumanBytes(mb << 20).c_str(), ray_ms,
                 ray_star_ms, mpi.seconds_per_iteration * 1000);
+    json.AddRow("sizes", {{"mb", static_cast<double>(mb)},
+                          {"ray_ms", ray_ms},
+                          {"ray_star_ms", ray_star_ms},
+                          {"mpi_ms", mpi.seconds_per_iteration * 1000}});
   }
 
   std::printf("\n");
@@ -124,6 +130,9 @@ int main() {
     setup.cluster->net().SetExtraSchedulerLatencyMicros(added_ms * 1000);
     double ms = TimeRayAllreduce(setup, elements, 1) * 1000;
     std::printf("+%-21d %-18.1f\n", added_ms, ms);
+    json.AddRow("latency_sensitivity",
+                {{"added_ms", static_cast<double>(added_ms)}, {"iteration_ms", ms}});
   }
+  json.Write();
   return 0;
 }

@@ -125,6 +125,8 @@ int main() {
 
   std::printf("%-8s %-18s %-18s %-22s\n", "cores", "Ray ES (s)", "reference ES (s)",
               "Ray speedup vs 2-core");
+  bench::BenchJson json("es");
+  json.Set("evaluations", evals).Set("iterations", iterations);
   double ray_base = 0;
   for (int cores : {2, 4, 8, 16}) {
     double ray_s = RunRayEs(cores, evals, iterations);
@@ -133,7 +135,12 @@ int main() {
       ray_base = ray_s;
     }
     std::printf("%-8d %-18.2f %-18.2f %-22.2f\n", cores, ray_s, ref_s, ray_base / ray_s);
+    json.AddRow("cores", {{"cores", static_cast<double>(cores)},
+                          {"ray_s", ray_s},
+                          {"reference_s", ref_s},
+                          {"ray_speedup_vs_2core", ray_base / ray_s}});
   }
+  json.Write();
   std::printf("\npaper: Ray speeds up ~1.6x per core doubling to 8192 cores; the reference\n"
               "system's driver saturates and it fails to complete beyond 1024 cores — here the\n"
               "reference's serial full-gradient fold keeps it from matching Ray's scaling.\n");

@@ -61,6 +61,7 @@ int main() {
     ++seq;
   }
 
+  bench::BenchJson json("gcs_fault_tolerance");
   std::printf("%-8s %-16s %-16s %-8s\n", "t (s)", "max write (us)", "max read (us)", "ops");
   for (size_t b = 0; b < timeline.size(); ++b) {
     if (timeline[b].ops == 0) {
@@ -69,9 +70,17 @@ int main() {
     std::printf("%-8.1f %-16.0f %-16.0f %-8llu%s\n", b / 10.0, timeline[b].max_write_us,
                 timeline[b].max_read_us, static_cast<unsigned long long>(timeline[b].ops),
                 (b == static_cast<size_t>(kill_at * 10)) ? "   <- replica killed" : "");
+    json.AddRow("timeline", {{"t_s", b / 10.0},
+                             {"max_write_us", timeline[b].max_write_us},
+                             {"max_read_us", timeline[b].max_read_us},
+                             {"ops", static_cast<double>(timeline[b].ops)}});
   }
   std::printf("\nreconfigurations: %d, live replicas: %zu\n", chain.NumReconfigurations(),
               chain.NumLiveReplicas());
   std::printf("max client-observed latency: %.1f ms (paper: < 30ms)\n", overall_max_us / 1000.0);
+  json.Set("kill_at_s", kill_at)
+      .Set("reconfigurations", chain.NumReconfigurations())
+      .Set("max_latency_ms", overall_max_us / 1000.0);
+  json.Write();
   return 0;
 }

@@ -13,7 +13,7 @@
 namespace ray {
 namespace {
 
-void Run(bool flush_enabled, int num_tasks, int report_every) {
+void Run(bool flush_enabled, int num_tasks, int report_every, bench::BenchJson& json) {
   gcs::GcsConfig config;
   config.num_shards = 4;
   config.flush_threshold_bytes = flush_enabled ? (4u << 20) : 0;
@@ -30,8 +30,13 @@ void Run(bool flush_enabled, int num_tasks, int report_every) {
     tasks.AddTask(id, spec);
     tasks.SetState(id, gcs::TaskState::kDone, node);
     if (t % report_every == 0) {
-      std::printf("%-12d %-14.2f %-14.2f\n", t, gcs.MemoryBytes() / 1048576.0,
-                  gcs.DiskBytes() / 1048576.0);
+      double mem_mb = gcs.MemoryBytes() / 1048576.0;
+      double disk_mb = gcs.DiskBytes() / 1048576.0;
+      std::printf("%-12d %-14.2f %-14.2f\n", t, mem_mb, disk_mb);
+      json.AddRow(flush_enabled ? "with_flush" : "no_flush",
+                  {{"tasks", static_cast<double>(t)},
+                   {"memory_mb", mem_mb},
+                   {"disk_mb", disk_mb}});
     }
   }
   std::printf("\n");
@@ -45,10 +50,13 @@ int main() {
   bench::Banner("Figure 10b", "GCS memory footprint with and without lineage flushing",
                 "50M no-op tasks -> 200K lineage records");
   int tasks = bench::QuickMode() ? 20'000 : 200'000;
-  Run(false, tasks, tasks / 10);
-  Run(true, tasks, tasks / 10);
+  bench::BenchJson json("gcs_flush");
+  json.Set("num_tasks", tasks).Set("flush_threshold_mb", 4);
+  Run(false, tasks, tasks / 10, json);
+  Run(true, tasks, tasks / 10, json);
   std::printf("expectation: without flushing memory grows linearly (paper: workload eventually\n"
               "stalls at memory capacity); with flushing memory stays at the threshold and\n"
               "lineage accumulates on disk instead.\n");
+  json.Write();
   return 0;
 }

@@ -66,6 +66,8 @@ int main() {
   bench::Banner("Figure 8a", "locality-aware vs unaware task placement, 2 nodes",
                 "tasks: 1000 -> 40/size; sizes 100KB-100MB");
   int tasks = bench::QuickMode() ? 8 : 40;
+  bench::BenchJson json("locality");
+  json.Set("tasks_per_size", tasks);
   std::printf("%-10s %-22s %-22s %-8s\n", "obj size", "aware mean latency (s)",
               "unaware mean latency (s)", "ratio");
   for (size_t bytes : {100ull << 10, 1ull << 20, 10ull << 20, 100ull << 20}) {
@@ -74,6 +76,11 @@ int main() {
     double unaware = RunMode(false, bytes, n);
     std::printf("%-10s %-22.5f %-22.5f %-8.1f\n", bench::HumanBytes(bytes).c_str(), aware, unaware,
                 unaware / aware);
+    json.AddRow("placement", {{"bytes", static_cast<double>(bytes)},
+                              {"aware_mean_s", aware},
+                              {"unaware_mean_s", unaware},
+                              {"ratio", unaware / aware}});
   }
+  json.Write();
   return 0;
 }

@@ -64,6 +64,7 @@ int main() {
   using namespace ray;
   bench::Banner("Figure 9", "object store write throughput (GB/s) and IOPS",
                 "sizes 1KB-1GB -> 1KB-256MB; threads {1,2,4,8,16}; single-core host caveat in text");
+  bench::BenchJson json("object_store");
 
   std::printf("-- write throughput (GB/s) by object size and copy threads --\n");
   std::printf("%-10s", "obj size");
@@ -77,7 +78,11 @@ int main() {
     for (int threads : {1, 2, 4, 8, 16}) {
       StoreFixture fx(threads);
       int iters = static_cast<int>(std::max<size_t>(3, (64ull << 20) / bytes));
-      std::printf(" %-10.2f", WriteThroughputGbps(fx, bytes, threads, iters));
+      double gbps = WriteThroughputGbps(fx, bytes, threads, iters);
+      std::printf(" %-10.2f", gbps);
+      json.AddRow("write_throughput", {{"bytes", static_cast<double>(bytes)},
+                                       {"threads", static_cast<double>(threads)},
+                                       {"gbps", gbps}});
     }
     std::printf("\n");
   }
@@ -86,8 +91,10 @@ int main() {
   std::printf("%-10s %-12s\n", "obj size", "IOPS");
   for (size_t bytes : {1ull << 10, 10ull << 10, 100ull << 10}) {
     StoreFixture fx(1);
-    std::printf("%-10s %-12.0f\n", bench::HumanBytes(bytes).c_str(),
-                WriteIops(fx, bytes, bench::QuickMode() ? 2000 : 20000));
+    double iops = WriteIops(fx, bytes, bench::QuickMode() ? 2000 : 20000);
+    std::printf("%-10s %-12.0f\n", bench::HumanBytes(bytes).c_str(), iops);
+    json.AddRow("iops", {{"bytes", static_cast<double>(bytes)}, {"iops", iops}});
   }
+  json.Write();
   return 0;
 }

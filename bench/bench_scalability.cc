@@ -3,10 +3,13 @@
 // 1.8M tasks/s at 100 nodes, enabled by the sharded GCS and bottom-up
 // scheduling. On this machine (see banner) we use the paper's own sizing
 // argument — 5ms single-core tasks (Section 2 footnote), scaled to 2ms — so
-// logical concurrency is not bounded by physical cores, and we sweep node
-// count. Two ablations from DESIGN.md follow: forcing every submission
-// through the global scheduler (bottom-up off), and GCS shard count.
+// per-task control-plane cost (lineage writes, scheduling, location
+// publishes) is visible rather than amortized away by execution time. Two
+// ablations from DESIGN.md follow: forcing every submission through the
+// global scheduler (bottom-up off), and GCS shard count. Results land in
+// BENCH_scalability.json (throughput, submit-latency percentiles, config).
 #include <cstdio>
+#include <mutex>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -16,13 +19,23 @@
 namespace ray {
 namespace {
 
+constexpr int kTaskMs = 2;
+
 int SleepTask(int ms) {
   SleepMicros(static_cast<int64_t>(ms) * 1000);
   return ms;
 }
 
-double RunThroughput(int num_nodes, int tasks_per_node, int task_ms, bool always_forward,
-                     int gcs_shards) {
+struct RunResult {
+  double tasks_per_s = 0;
+  // Driver-side ray.Call latency (task submission path), microseconds.
+  double submit_p50_us = 0;
+  double submit_p95_us = 0;
+  double submit_p99_us = 0;
+};
+
+RunResult RunThroughput(int num_nodes, int tasks_per_node, int task_ms, bool always_forward,
+                        int gcs_shards) {
   ClusterConfig config;
   config.num_nodes = num_nodes;
   config.scheduler.total_resources = ResourceSet::Cpu(4);
@@ -38,27 +51,41 @@ double RunThroughput(int num_nodes, int tasks_per_node, int task_ms, bool always
 
   // One driver per node submits its share bottom-up (the paper's drivers
   // run on every node; nested submission achieves the same distribution).
+  std::mutex lat_mu;
+  std::vector<double> submit_lat_us;
+  submit_lat_us.reserve(static_cast<size_t>(num_nodes) * tasks_per_node);
   Timer timer;
   std::vector<std::thread> drivers;
   for (int n = 0; n < num_nodes; ++n) {
     drivers.emplace_back([&, n] {
       Ray ray = Ray::OnNode(cluster, n);
       std::vector<ObjectRef<int>> refs;
+      std::vector<double> lat;
       refs.reserve(tasks_per_node);
+      lat.reserve(tasks_per_node);
       for (int t = 0; t < tasks_per_node; ++t) {
+        Timer call_timer;
         refs.push_back(ray.Call<int>("sleep_task", task_ms));
+        lat.push_back(static_cast<double>(call_timer.ElapsedMicros()));
       }
       for (auto& ref : refs) {
         auto r = ray.Get(ref, 300'000'000);
         RAY_CHECK(r.ok()) << r.status().ToString();
       }
+      std::lock_guard<std::mutex> lock(lat_mu);
+      submit_lat_us.insert(submit_lat_us.end(), lat.begin(), lat.end());
     });
   }
   for (auto& d : drivers) {
     d.join();
   }
   double seconds = timer.ElapsedSeconds();
-  return static_cast<double>(num_nodes) * tasks_per_node / seconds;
+  RunResult result;
+  result.tasks_per_s = static_cast<double>(num_nodes) * tasks_per_node / seconds;
+  result.submit_p50_us = bench::Percentile(submit_lat_us, 0.50);
+  result.submit_p95_us = bench::Percentile(submit_lat_us, 0.95);
+  result.submit_p99_us = bench::Percentile(submit_lat_us, 0.99);
+  return result;
 }
 
 }  // namespace
@@ -67,32 +94,52 @@ double RunThroughput(int num_nodes, int tasks_per_node, int task_ms, bool always
 int main() {
   using namespace ray;
   bench::Banner("Figure 8b", "task throughput vs cluster size (+ scheduling/GCS ablations)",
-                "nodes 10-100 -> 1-16; 4 workers/node; 20ms tasks (paper's 5ms-task sizing argument, scaled)");
-  int per_node = bench::QuickMode() ? 60 : 150;
+                "nodes 10-100 -> 1-16; 4 workers/node; 2ms tasks (paper's 5ms-task sizing argument, scaled)");
+  int per_node = bench::QuickMode() ? 100 : 300;
+  bench::BenchJson json("scalability");
+  json.Set("task_ms", kTaskMs)
+      .Set("tasks_per_node", per_node)
+      .Set("workers_per_node", 4)
+      .Set("gcs_shards", 4)
+      .Set("control_latency_us", 20);
 
   std::printf("-- throughput scaling (bottom-up scheduling, 4 GCS shards) --\n");
-  std::printf("%-8s %-14s %-12s\n", "nodes", "tasks/s", "speedup");
+  std::printf("%-8s %-14s %-10s %-12s %-12s\n", "nodes", "tasks/s", "speedup", "submit p50us",
+              "submit p99us");
   double base = 0;
   for (int nodes : {1, 2, 4, 8, 16}) {
-    double tput = RunThroughput(nodes, per_node, 20, false, 4);
+    RunResult r = RunThroughput(nodes, per_node, kTaskMs, false, 4);
     if (nodes == 1) {
-      base = tput;
+      base = r.tasks_per_s;
     }
-    std::printf("%-8d %-14.0f %-12.2f\n", nodes, tput, tput / base);
+    std::printf("%-8d %-14.0f %-10.2f %-12.0f %-12.0f\n", nodes, r.tasks_per_s,
+                r.tasks_per_s / base, r.submit_p50_us, r.submit_p99_us);
+    json.AddRow("scaling", {{"nodes", static_cast<double>(nodes)},
+                            {"tasks_per_s", r.tasks_per_s},
+                            {"speedup", r.tasks_per_s / base},
+                            {"submit_p50_us", r.submit_p50_us},
+                            {"submit_p95_us", r.submit_p95_us},
+                            {"submit_p99_us", r.submit_p99_us}});
   }
 
-  // Short tasks make per-task scheduling overhead visible (with 20ms tasks
+  // Short tasks make per-task scheduling overhead visible (with long tasks
   // the extra global hop amortizes away).
   std::printf("\n-- ablation: bottom-up vs always-global scheduling (8 nodes, 5ms tasks) --\n");
-  double bottom_up = RunThroughput(8, per_node, 5, false, 4);
-  double global_only = RunThroughput(8, per_node, 5, true, 4);
+  RunResult bottom_up = RunThroughput(8, per_node, 5, false, 4);
+  RunResult global_only = RunThroughput(8, per_node, 5, true, 4);
   std::printf("bottom-up: %.0f tasks/s   always-global: %.0f tasks/s   (bottom-up %.2fx)\n",
-              bottom_up, global_only, bottom_up / global_only);
+              bottom_up.tasks_per_s, global_only.tasks_per_s,
+              bottom_up.tasks_per_s / global_only.tasks_per_s);
+  json.Set("ablation_bottom_up_tasks_per_s", bottom_up.tasks_per_s);
+  json.Set("ablation_always_global_tasks_per_s", global_only.tasks_per_s);
 
   std::printf("\n-- ablation: GCS shard count (8 nodes) --\n");
   for (int shards : {1, 2, 8}) {
-    double tput = RunThroughput(8, per_node, 20, false, shards);
-    std::printf("shards=%d: %.0f tasks/s\n", shards, tput);
+    RunResult r = RunThroughput(8, per_node, kTaskMs, false, shards);
+    std::printf("shards=%d: %.0f tasks/s\n", shards, r.tasks_per_s);
+    json.AddRow("shard_ablation",
+                {{"shards", static_cast<double>(shards)}, {"tasks_per_s", r.tasks_per_s}});
   }
+  json.Write();
   return 0;
 }

@@ -66,5 +66,12 @@ int main() {
               large.ray_states_s);
   std::printf("\npaper: small 4400 vs 6200; larger 290 vs 6900 — Ray's margin should widen\n"
               "dramatically on the large-input row.\n");
+  bench::BenchJson json("serving");
+  json.Set("drive_seconds", seconds)
+      .Set("small_rest_states_s", small.rest_states_s)
+      .Set("small_ray_states_s", small.ray_states_s)
+      .Set("large_rest_states_s", large.rest_states_s)
+      .Set("large_ray_states_s", large.ray_states_s);
+  json.Write();
   return 0;
 }

@@ -67,6 +67,8 @@ int main() {
   bench::Banner("Figure 13", "synchronous SGD samples/s by strategy and #GPU workers",
                 "ResNet-101 on 4-64 V100s -> 1.1MB-gradient MLP + 30ms simulated grad, 2-8 workers, dilated wire");
   int iters = bench::QuickMode() ? 3 : 12;
+  bench::BenchJson json("sgd");
+  json.Set("iterations", iters);
   std::printf("%-8s %-22s %-22s %-22s\n", "GPUs", "allreduce (smp/s)", "param server (smp/s)",
               "centralized (smp/s)");
   for (int workers : {2, 4, 8}) {
@@ -74,7 +76,12 @@ int main() {
     double ps = Run(raylib::SyncStrategy::kParameterServer, workers, iters);
     double central = Run(raylib::SyncStrategy::kCentralizedDriver, workers, iters);
     std::printf("%-8d %-22.0f %-22.0f %-22.0f\n", workers, ar, ps, central);
+    json.AddRow("strategies", {{"workers", static_cast<double>(workers)},
+                               {"allreduce_smp_s", ar},
+                               {"parameter_server_smp_s", ps},
+                               {"centralized_smp_s", central}});
   }
+  json.Write();
   std::printf("\nexpectation: allreduce ≈ parameter server (within ~10%%), both scaling with\n"
               "workers; centralized driver aggregation flattens (paper Fig. 13 shape).\n");
   return 0;

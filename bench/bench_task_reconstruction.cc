@@ -77,6 +77,8 @@ int main() {
   }
 
   // Sampler: per-500ms completed-task throughput.
+  bench::BenchJson json("task_reconstruction");
+  json.Set("task_ms", task_ms).Set("num_chains", num_chains);
   std::printf("%-8s %-14s %-14s %-12s\n", "t (s)", "tasks/s", "re-executed", "live nodes");
   Timer wall;
   uint64_t last_exec = 0;
@@ -104,6 +106,10 @@ int main() {
                 static_cast<unsigned long long>(g_reexecutions.load()), live,
                 (killed && wall.ElapsedSeconds() < kill_at + bucket_s) ? "  <- 2 nodes killed" : "",
                 (added && wall.ElapsedSeconds() < add_at + bucket_s) ? "  <- 2 nodes added" : "");
+    json.AddRow("timeline", {{"t_s", wall.ElapsedSeconds()},
+                             {"tasks_per_s", static_cast<double>(now_exec - last_exec) / bucket_s},
+                             {"reexecuted", static_cast<double>(g_reexecutions.load())},
+                             {"live_nodes", static_cast<double>(live)}});
     last_exec = now_exec;
   }
   stop.store(true);
@@ -113,5 +119,8 @@ int main() {
   std::printf("\ntotal executions: %llu, re-executed (reconstruction): %llu\n",
               static_cast<unsigned long long>(g_executions.load()),
               static_cast<unsigned long long>(g_reexecutions.load()));
+  json.Set("total_executions", static_cast<double>(g_executions.load()))
+      .Set("reexecuted", static_cast<double>(g_reexecutions.load()));
+  json.Write();
   return 0;
 }

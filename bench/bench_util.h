@@ -2,12 +2,21 @@
 // prints its paper anchor (figure/table number), the rows/series the paper
 // reports, and the machine scale-down it applies. RAY_BENCH_QUICK=1 shrinks
 // everything further for smoke runs.
+//
+// Besides the console output, benches emit a machine-readable
+// BENCH_<name>.json (throughput, latency percentiles, config) via BenchJson,
+// written to RAY_BENCH_JSON_DIR (default: current directory) so CI and
+// before/after comparisons can diff runs without scraping stdout.
 #ifndef RAY_BENCH_BENCH_UTIL_H_
 #define RAY_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace ray {
 namespace bench {
@@ -37,6 +46,118 @@ inline std::string HumanBytes(size_t bytes) {
   }
   return buf;
 }
+
+// Linear-interpolated percentile of an (unsorted) sample, q in [0, 1].
+inline double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  double pos = q * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+// Accumulates one bench run and writes it as BENCH_<name>.json. Supports
+// scalar fields (numbers / strings) and flat arrays of numeric rows; that is
+// enough for every bench's (config, throughput, percentiles) shape.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  BenchJson& Set(const std::string& key, double value) {
+    scalars_.emplace_back(key, Number(value));
+    return *this;
+  }
+  BenchJson& Set(const std::string& key, const std::string& value) {
+    scalars_.emplace_back(key, Quote(value));
+    return *this;
+  }
+
+  // Appends {"field": value, ...} to the array `array_name`.
+  BenchJson& AddRow(const std::string& array_name,
+                    std::initializer_list<std::pair<const char*, double>> fields) {
+    std::string row = "{";
+    bool first = true;
+    for (const auto& [k, v] : fields) {
+      if (!first) {
+        row += ", ";
+      }
+      first = false;
+      row += Quote(k) + ": " + Number(v);
+    }
+    row += "}";
+    auto it = std::find_if(arrays_.begin(), arrays_.end(),
+                           [&](const auto& a) { return a.first == array_name; });
+    if (it == arrays_.end()) {
+      arrays_.emplace_back(array_name, std::vector<std::string>{std::move(row)});
+    } else {
+      it->second.push_back(std::move(row));
+    }
+    return *this;
+  }
+
+  std::string Path() const {
+    const char* dir = std::getenv("RAY_BENCH_JSON_DIR");
+    std::string prefix = (dir != nullptr && dir[0] != '\0') ? std::string(dir) + "/" : "";
+    return prefix + "BENCH_" + name_ + ".json";
+  }
+
+  void Write() const {
+    std::string out = "{\n";
+    out += "  " + Quote("bench") + ": " + Quote(name_);
+    for (const auto& [k, v] : scalars_) {
+      out += ",\n  " + Quote(k) + ": " + v;
+    }
+    for (const auto& [name, rows] : arrays_) {
+      out += ",\n  " + Quote(name) + ": [\n";
+      for (size_t i = 0; i < rows.size(); ++i) {
+        out += "    " + rows[i] + (i + 1 < rows.size() ? ",\n" : "\n");
+      }
+      out += "  ]";
+    }
+    out += "\n}\n";
+    std::string path = Path();
+    if (FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+      std::printf("[bench json: %s]\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    }
+  }
+
+ private:
+  static std::string Number(double v) {
+    if (!std::isfinite(v)) {
+      return "null";
+    }
+    char buf[32];
+    if (v == static_cast<double>(static_cast<long long>(v)) && std::fabs(v) < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+    }
+    return buf;
+  }
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    out += "\"";
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> scalars_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> arrays_;
+};
 
 }  // namespace bench
 }  // namespace ray

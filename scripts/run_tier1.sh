@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full ctest suite. This is the
+# command CI runs on every change; it must pass before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"

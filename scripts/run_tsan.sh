@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the concurrency-heavy test binaries. The control
+# plane leans on fine-grained locking (GCS batcher, sharded pub-sub, the
+# scheduler's two-lock split), so these three must stay TSan-clean:
+#   gcs_test             - batcher, chain replication, pub-sub tables
+#   pubsub_test          - subscribe/unsubscribe/publish churn, ordering
+#   scheduler_test       - submit -> dispatch handoff, rescue, work stealing
+#   net_objectstore_test - shared-mutex object store, sim network
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j"$(nproc)" \
+  --target gcs_test pubsub_test scheduler_test net_objectstore_test
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+for t in gcs_test pubsub_test scheduler_test net_objectstore_test; do
+  echo "== TSan: $t =="
+  ./build-tsan/tests/"$t"
+done
+echo "TSan: all clean"

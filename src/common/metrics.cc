@@ -26,6 +26,12 @@ bool Ema::HasValue() const {
   return has_value_;
 }
 
+void Ema::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  value_ = 0.0;
+  has_value_ = false;
+}
+
 void Histogram::Observe(double sample) {
   std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
@@ -93,14 +99,31 @@ std::string Histogram::Summary(const std::string& unit) const {
   return out.str();
 }
 
-void Counter::Add(uint64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
-  value_ += n;
+void Gauge::Add(int64_t n) {
+  int64_t now = value_.fetch_add(n, std::memory_order_relaxed) + n;
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (now > seen && !max_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+  }
 }
 
-uint64_t Counter::Value() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return value_;
+void Gauge::Reset() {
+  value_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+ControlPlaneMetrics& ControlPlaneMetrics::Instance() {
+  static ControlPlaneMetrics instance;
+  return instance;
+}
+
+void ControlPlaneMetrics::Reset() {
+  gcs_batch_size.Reset();
+  gcs_batch_rounds.Reset();
+  gcs_batched_ops.Reset();
+  publish_queue_depth.Reset();
+  publishes_delivered.Reset();
+  dispatch_lock_wait_us.Reset();
+  deps_lock_wait_us.Reset();
 }
 
 }  // namespace ray

@@ -1,9 +1,12 @@
 // Lightweight metrics used by both the schedulers (exponential averaging of
 // task duration / transfer bandwidth, Section 4.2.2) and the benchmark
-// harness (latency histograms with percentile extraction).
+// harness (latency histograms with percentile extraction). Also hosts the
+// process-wide control-plane instrumentation (GCS batch sizes, publish queue
+// depth, lock-wait EMAs) added for the task-submission fast path.
 #ifndef RAY_COMMON_METRICS_H_
 #define RAY_COMMON_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -19,6 +22,7 @@ class Ema {
   void Observe(double sample);
   double Value() const;
   bool HasValue() const;
+  void Reset();
 
  private:
   mutable std::mutex mu_;
@@ -53,15 +57,52 @@ class Histogram {
   std::vector<double> samples_;
 };
 
-// Monotonic counter.
+// Monotonic counter; lock-free.
 class Counter {
  public:
-  void Add(uint64_t n = 1);
-  uint64_t Value() const;
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  mutable std::mutex mu_;
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous level (queue depths, in-flight counts) with a high-watermark;
+// lock-free.
+class Gauge {
+ public:
+  void Add(int64_t n = 1);
+  void Sub(int64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+// Process-wide counters for the control-plane fast path. One instance per
+// process (every Gcs / LocalScheduler in a simulated cluster shares it): the
+// benches read it to show where submit-path time goes.
+struct ControlPlaneMetrics {
+  static ControlPlaneMetrics& Instance();
+
+  // Group-committed GCS writes: ops coalesced per chain replication round.
+  Ema gcs_batch_size{0.05};
+  Counter gcs_batch_rounds;
+  Counter gcs_batched_ops;
+
+  // Async pub-sub: events queued but not yet delivered.
+  Gauge publish_queue_depth;
+  Counter publishes_delivered;
+
+  // Microseconds spent acquiring the local scheduler's hot locks.
+  Ema dispatch_lock_wait_us{0.05};
+  Ema deps_lock_wait_us{0.05};
+
+  void Reset();
 };
 
 }  // namespace ray

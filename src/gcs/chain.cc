@@ -77,6 +77,31 @@ Status ChainShard::Append(const std::string& key, const std::string& element) {
   return Status::Ok();
 }
 
+Status ChainShard::ApplyBatch(const std::vector<ChainOp>& ops) {
+  if (ops.empty()) {
+    return Status::Ok();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  EnsureHealthyLocked(lock);
+  for (auto& replica : replicas_) {
+    PreciseDelayMicros(config_.hop_latency_us);
+    for (const ChainOp& op : ops) {
+      switch (op.kind) {
+        case ChainOp::Kind::kPut:
+          replica->store.Put(op.key, op.value);
+          break;
+        case ChainOp::Kind::kAppend:
+          replica->store.Append(op.key, op.value);
+          break;
+        case ChainOp::Kind::kDelete:
+          replica->store.Delete(op.key);
+          break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 Result<uint64_t> ChainShard::Increment(const std::string& key) {
   std::unique_lock<std::mutex> lock(mu_);
   EnsureHealthyLocked(lock);

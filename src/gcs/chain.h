@@ -30,6 +30,16 @@ struct ChainConfig {
   double state_transfer_bytes_per_sec = 2e9;
 };
 
+// One write in a group-committed batch (see Gcs write batching): a whole
+// batch propagates down the chain in a single replication round, so the
+// per-hop latency is paid once per batch instead of once per write.
+struct ChainOp {
+  enum class Kind : uint8_t { kPut, kAppend, kDelete };
+  Kind kind;
+  std::string key;
+  std::string value;  // unused for kDelete
+};
+
 class ChainShard {
  public:
   explicit ChainShard(const ChainConfig& config);
@@ -38,6 +48,10 @@ class ChainShard {
   // like a client retrying against a repaired chain.
   Status Put(const std::string& key, const std::string& value);
   Status Append(const std::string& key, const std::string& element);
+  // Applies `ops` in order through one replication round: each replica is
+  // charged one hop latency for the whole batch. Equivalent to issuing the
+  // ops back-to-back, minus the per-op rounds.
+  Status ApplyBatch(const std::vector<ChainOp>& ops);
   Result<std::string> Get(const std::string& key) const;
   Result<std::vector<std::string>> GetList(const std::string& key) const;
   Status Delete(const std::string& key);

@@ -2,33 +2,159 @@
 
 #include <functional>
 
+#include "common/clock.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace ray {
 namespace gcs {
+
+// --- ShardBatcher -----------------------------------------------------------
+
+Gcs::ShardBatcher::ShardBatcher(ChainShard* shard, PubSub* pubsub, int max_ops,
+                                int64_t linger_us)
+    : shard_(shard),
+      pubsub_(pubsub),
+      max_ops_(static_cast<size_t>(max_ops)),
+      linger_us_(linger_us) {
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+Gcs::ShardBatcher::~ShardBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  flusher_.join();
+}
+
+Status Gcs::ShardBatcher::Execute(ChainOp op, bool publish) {
+  Slot slot;
+  slot.op = std::move(op);
+  slot.publish = publish;
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&slot);
+  work_cv_.notify_one();
+  done_cv_.wait(lock, [&] { return slot.done; });
+  return slot.status;
+}
+
+void Gcs::ShardBatcher::FlusherLoop() {
+  std::vector<Slot*> batch;
+  std::vector<ChainOp> ops;
+  auto& metrics = ControlPlaneMetrics::Instance();
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return;  // shutdown with nothing pending
+    }
+    if (linger_us_ > 0 && queue_.size() < max_ops_ && !shutdown_) {
+      // Give concurrent writers a short window to join this round.
+      lock.unlock();
+      SleepMicros(linger_us_);
+      lock.lock();
+    }
+    batch.clear();
+    ops.clear();
+    while (!queue_.empty() && batch.size() < max_ops_) {
+      batch.push_back(queue_.front());
+      queue_.pop_front();
+    }
+    for (Slot* slot : batch) {
+      ops.push_back(slot->op);
+    }
+    lock.unlock();
+
+    // One chain replication round commits the whole batch.
+    Status status = shard_->ApplyBatch(ops);
+    metrics.gcs_batch_rounds.Add(1);
+    metrics.gcs_batched_ops.Add(batch.size());
+    metrics.gcs_batch_size.Observe(static_cast<double>(batch.size()));
+
+    // Publish in commit order before waking writers, so the pub-sub queue
+    // observes the same order the chain committed.
+    for (Slot* slot : batch) {
+      if (slot->publish && status.ok()) {
+        pubsub_->Publish(slot->op.key, slot->op.value);
+      }
+    }
+
+    lock.lock();
+    for (Slot* slot : batch) {
+      slot->status = status;
+      slot->done = true;
+    }
+    done_cv_.notify_all();
+    if (shutdown_ && queue_.empty()) {
+      return;
+    }
+  }
+}
+
+// --- Gcs --------------------------------------------------------------------
 
 Gcs::Gcs(const GcsConfig& config) : config_(config) {
   RAY_CHECK(config_.num_shards >= 1);
   for (int i = 0; i < config_.num_shards; ++i) {
     shards_.push_back(std::make_unique<ChainShard>(config_.chain));
   }
+  pubsub_ = std::make_unique<PubSub>(config_.pubsub_buckets, config_.publish_workers);
+  if (config_.batch_max_ops > 1) {
+    for (auto& shard : shards_) {
+      batchers_.push_back(std::make_unique<ShardBatcher>(
+          shard.get(), pubsub_.get(), config_.batch_max_ops, config_.batch_linger_us));
+    }
+  }
+}
+
+Gcs::~Gcs() {
+  batchers_.clear();  // flush pending writes before tearing down pub-sub
+  pubsub_.reset();
+}
+
+size_t Gcs::ShardIndexFor(const std::string& key) const {
+  return std::hash<std::string>{}(key) % shards_.size();
 }
 
 ChainShard& Gcs::ShardFor(const std::string& key) const {
-  size_t h = std::hash<std::string>{}(key);
-  return *shards_[h % shards_.size()];
+  return *shards_[ShardIndexFor(key)];
+}
+
+Status Gcs::Write(ChainOp op, bool publish) {
+  size_t index = ShardIndexFor(op.key);
+  if (!batchers_.empty()) {
+    return batchers_[index]->Execute(std::move(op), publish);
+  }
+  // Batching disabled: run the op as its own round on the caller's thread.
+  ChainShard& shard = *shards_[index];
+  Status status;
+  switch (op.kind) {
+    case ChainOp::Kind::kPut:
+      status = shard.Put(op.key, op.value);
+      break;
+    case ChainOp::Kind::kAppend:
+      status = shard.Append(op.key, op.value);
+      break;
+    case ChainOp::Kind::kDelete:
+      status = shard.Delete(op.key);
+      break;
+  }
+  if (publish && status.ok()) {
+    pubsub_->Publish(op.key, op.value);
+  }
+  return status;
 }
 
 Status Gcs::Put(const std::string& key, const std::string& value) {
-  RAY_RETURN_NOT_OK(ShardFor(key).Put(key, value));
-  Publish(key, value);
+  RAY_RETURN_NOT_OK(Write({ChainOp::Kind::kPut, key, value}, /*publish=*/true));
   MaybeAutoFlush();
   return Status::Ok();
 }
 
 Status Gcs::Append(const std::string& key, const std::string& element) {
-  RAY_RETURN_NOT_OK(ShardFor(key).Append(key, element));
-  Publish(key, element);
+  RAY_RETURN_NOT_OK(Write({ChainOp::Kind::kAppend, key, element}, /*publish=*/true));
   MaybeAutoFlush();
   return Status::Ok();
 }
@@ -39,54 +165,23 @@ Result<std::vector<std::string>> Gcs::GetList(const std::string& key) const {
   return ShardFor(key).GetList(key);
 }
 
-Status Gcs::Delete(const std::string& key) { return ShardFor(key).Delete(key); }
+Status Gcs::Delete(const std::string& key) {
+  return Write({ChainOp::Kind::kDelete, key, ""}, /*publish=*/false);
+}
 
 Result<uint64_t> Gcs::Increment(const std::string& key) { return ShardFor(key).Increment(key); }
 
 bool Gcs::Contains(const std::string& key) const { return ShardFor(key).Contains(key); }
 
 uint64_t Gcs::Subscribe(const std::string& key, Callback callback) {
-  uint64_t token = next_token_.fetch_add(1);
-  std::lock_guard<std::mutex> lock(sub_mu_);
-  subscribers_[key].emplace_back(token, std::move(callback));
-  return token;
+  return pubsub_->Subscribe(key, std::move(callback));
 }
 
 void Gcs::Unsubscribe(const std::string& key, uint64_t token) {
-  std::lock_guard<std::mutex> lock(sub_mu_);
-  auto it = subscribers_.find(key);
-  if (it == subscribers_.end()) {
-    return;
-  }
-  auto& subs = it->second;
-  for (auto sit = subs.begin(); sit != subs.end(); ++sit) {
-    if (sit->first == token) {
-      subs.erase(sit);
-      break;
-    }
-  }
-  if (subs.empty()) {
-    subscribers_.erase(it);
-  }
+  pubsub_->Unsubscribe(key, token);
 }
 
-void Gcs::Publish(const std::string& key, const std::string& value) {
-  std::vector<Callback> callbacks;
-  {
-    std::lock_guard<std::mutex> lock(sub_mu_);
-    auto it = subscribers_.find(key);
-    if (it == subscribers_.end()) {
-      return;
-    }
-    callbacks.reserve(it->second.size());
-    for (const auto& [token, cb] : it->second) {
-      callbacks.push_back(cb);
-    }
-  }
-  for (const auto& cb : callbacks) {
-    cb(key, value);
-  }
-}
+void Gcs::DrainPublishes() { pubsub_->Drain(); }
 
 size_t Gcs::MemoryBytes() const {
   size_t total = 0;

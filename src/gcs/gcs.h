@@ -3,19 +3,32 @@
 // control state (object locations, task lineage, actor state, heartbeats)
 // lives here so that every other component — schedulers, object stores,
 // workers — is stateless and can be restarted from the GCS.
+//
+// Write fast path (control-plane fast path PR): writes are group-committed.
+// Each shard has a batcher thread that coalesces concurrent Put/Append/Delete
+// calls into a single chain replication round (ChainShard::ApplyBatch), so
+// the per-round hop latency is paid once per batch instead of once per write.
+// Callers still block until their write commits — read-your-writes and
+// program order are preserved — but N concurrent writers share one round.
+// Committed writes are published through a sharded async pub-sub (PubSub), so
+// chain commits never block behind subscriber callbacks.
 #ifndef RAY_GCS_GCS_H_
 #define RAY_GCS_GCS_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "gcs/chain.h"
+#include "gcs/pubsub.h"
 
 namespace ray {
 namespace gcs {
@@ -26,11 +39,29 @@ struct GcsConfig {
   // When > 0, entries matching the flush predicate are moved to the disk
   // tier whenever the in-memory footprint exceeds this many bytes (Fig 10b).
   size_t flush_threshold_bytes = 0;
+
+  // --- control-plane fast path knobs ---
+  // Max writes coalesced into one chain replication round. <= 1 disables
+  // group commit: every write runs its own round on the caller's thread (the
+  // seed behavior).
+  int batch_max_ops = 256;
+  // How long the batcher lingers after the first write of a round to let
+  // more writers join. 0 = commit whatever queued while the previous round
+  // ran (batching emerges under contention, no added latency when idle).
+  int64_t batch_linger_us = 0;
+  // Subscriber registry buckets (reader-writer locked).
+  int pubsub_buckets = 16;
+  // Async publish workers; all events for one key hash to one worker, which
+  // preserves per-key delivery order. 0 = deliver inline on the committing
+  // thread (deterministic; for tests — do not combine with batching and
+  // subscriber callbacks that write back into the GCS).
+  int publish_workers = 2;
 };
 
 class Gcs {
  public:
   explicit Gcs(const GcsConfig& config);
+  ~Gcs();
 
   Status Put(const std::string& key, const std::string& value);
   Status Append(const std::string& key, const std::string& element);
@@ -38,15 +69,19 @@ class Gcs {
   Result<std::vector<std::string>> GetList(const std::string& key) const;
   Status Delete(const std::string& key);
   bool Contains(const std::string& key) const;
-  // Atomic counter increment (returns the new value).
+  // Atomic counter increment (returns the new value). Not batched: the
+  // result is needed synchronously and increments are rare on the hot path.
   Result<uint64_t> Increment(const std::string& key);
 
-  // Pub-sub: `callback(key, value)` fires after every committed Put/Append to
-  // `key`. Returns a token for Unsubscribe. Callbacks run on the writer's
-  // thread after the chain write commits and must not block for long.
-  using Callback = std::function<void(const std::string& key, const std::string& value)>;
+  // Pub-sub: `callback(key, value)` fires after every committed Put/Append
+  // to `key`, asynchronously on a publish worker (per-key order preserved).
+  // After Unsubscribe returns the callback will not run again.
+  using Callback = PubSub::Callback;
   uint64_t Subscribe(const std::string& key, Callback callback);
   void Unsubscribe(const std::string& key, uint64_t token);
+
+  // Blocks until every publish queued before this call has been delivered.
+  void DrainPublishes();
 
   // Footprint across shards (tail replica view).
   size_t MemoryBytes() const;
@@ -64,17 +99,51 @@ class Gcs {
   size_t NumShards() const { return shards_.size(); }
 
  private:
+  // Per-shard group-commit daemon. Writers enqueue an op and block; the
+  // flusher thread commits everything queued in one ApplyBatch round, then
+  // publishes Put/Append ops in commit order and wakes the writers.
+  class ShardBatcher {
+   public:
+    ShardBatcher(ChainShard* shard, PubSub* pubsub, int max_ops, int64_t linger_us);
+    ~ShardBatcher();
+
+    Status Execute(ChainOp op, bool publish);
+
+   private:
+    struct Slot {
+      ChainOp op;
+      bool publish = false;
+      Status status;
+      bool done = false;
+    };
+
+    void FlusherLoop();
+
+    ChainShard* shard_;
+    PubSub* pubsub_;
+    size_t max_ops_;
+    int64_t linger_us_;
+
+    std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    std::deque<Slot*> queue_;
+    bool shutdown_ = false;
+    std::thread flusher_;
+  };
+
+  size_t ShardIndexFor(const std::string& key) const;
   ChainShard& ShardFor(const std::string& key) const;
+  // Routes a write through the shard's batcher (or directly when batching is
+  // disabled), publishing after commit if `publish`.
+  Status Write(ChainOp op, bool publish);
   void MaybeAutoFlush();
-  void Publish(const std::string& key, const std::string& value);
   bool IsFlushable(const std::string& key) const;
 
   GcsConfig config_;
   std::vector<std::unique_ptr<ChainShard>> shards_;
-
-  mutable std::mutex sub_mu_;
-  std::unordered_map<std::string, std::vector<std::pair<uint64_t, Callback>>> subscribers_;
-  std::atomic<uint64_t> next_token_{1};
+  std::unique_ptr<PubSub> pubsub_;
+  std::vector<std::unique_ptr<ShardBatcher>> batchers_;  // destroyed before pubsub_
 
   mutable std::mutex flush_mu_;
   std::vector<std::string> flushable_prefixes_;

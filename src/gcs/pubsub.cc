@@ -1,0 +1,172 @@
+#include "gcs/pubsub.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace ray {
+namespace gcs {
+
+PubSub::PubSub(int num_buckets, int num_workers) : buckets_(std::max(1, num_buckets)) {
+  workers_.reserve(static_cast<size_t>(std::max(0, num_workers)));
+  for (int i = 0; i < num_workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    Worker* raw = worker.get();
+    worker->thread = std::thread([this, raw] { WorkerLoop(*raw); });
+    workers_.push_back(std::move(worker));
+  }
+}
+
+PubSub::~PubSub() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mu);
+    }
+    worker->cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+  }
+}
+
+uint64_t PubSub::Subscribe(const std::string& key, Callback callback) {
+  auto sub = std::make_shared<Subscription>();
+  uint64_t token = next_token_.fetch_add(1);
+  sub->token = token;
+  sub->callback = std::move(callback);
+  Bucket& bucket = BucketFor(key);
+  {
+    std::unique_lock<std::shared_mutex> lock(bucket.mu);
+    bucket.subs[key].push_back(std::move(sub));
+  }
+  num_subscriptions_.fetch_add(1, std::memory_order_relaxed);
+  return token;
+}
+
+void PubSub::Unsubscribe(const std::string& key, uint64_t token) {
+  std::shared_ptr<Subscription> removed;
+  Bucket& bucket = BucketFor(key);
+  {
+    std::unique_lock<std::shared_mutex> lock(bucket.mu);
+    auto it = bucket.subs.find(key);
+    if (it == bucket.subs.end()) {
+      return;
+    }
+    auto& subs = it->second;
+    for (auto sit = subs.begin(); sit != subs.end(); ++sit) {
+      if ((*sit)->token == token) {
+        removed = *sit;
+        subs.erase(sit);
+        break;
+      }
+    }
+    if (subs.empty()) {
+      bucket.subs.erase(it);
+    }
+  }
+  if (!removed) {
+    return;
+  }
+  num_subscriptions_.fetch_sub(1, std::memory_order_relaxed);
+  removed->active.store(false, std::memory_order_release);
+  if (removed->running_on.load(std::memory_order_acquire) == std::this_thread::get_id()) {
+    // Called from inside this subscription's own callback: the delivery we
+    // would wait for is us, and it cannot fire again once active is false.
+    return;
+  }
+  // Wait out an in-flight delivery so the callback provably never runs after
+  // this returns (callers routinely free callback-captured state next).
+  std::lock_guard<std::mutex> wait(removed->run_mu);
+}
+
+void PubSub::Deliver(const std::string& key, const std::string& value) {
+  std::vector<std::shared_ptr<Subscription>> targets;
+  {
+    const Bucket& bucket = BucketFor(key);
+    std::shared_lock<std::shared_mutex> lock(bucket.mu);
+    auto it = bucket.subs.find(key);
+    if (it == bucket.subs.end()) {
+      return;
+    }
+    targets.assign(it->second.begin(), it->second.end());
+  }
+  for (const auto& sub : targets) {
+    if (!sub->active.load(std::memory_order_acquire)) {
+      continue;
+    }
+    std::lock_guard<std::mutex> run(sub->run_mu);
+    if (!sub->active.load(std::memory_order_acquire)) {
+      continue;  // unsubscribed while we acquired the run lock
+    }
+    sub->running_on.store(std::this_thread::get_id(), std::memory_order_release);
+    sub->callback(key, value);
+    sub->running_on.store(std::thread::id(), std::memory_order_release);
+  }
+  ControlPlaneMetrics::Instance().publishes_delivered.Add(1);
+}
+
+void PubSub::Publish(const std::string& key, const std::string& value) {
+  if (workers_.empty()) {
+    Deliver(key, value);
+    return;
+  }
+  Worker& worker = *workers_[Hash(key) % workers_.size()];
+  {
+    std::lock_guard<std::mutex> lock(worker.mu);
+    worker.queue.emplace_back(key, value);
+  }
+  ControlPlaneMetrics::Instance().publish_queue_depth.Add(1);
+  worker.cv.notify_one();
+}
+
+void PubSub::WorkerLoop(Worker& worker) {
+  for (;;) {
+    std::pair<std::string, std::string> event;
+    {
+      std::unique_lock<std::mutex> lock(worker.mu);
+      worker.cv.wait(lock, [&] {
+        return !worker.queue.empty() || shutdown_.load(std::memory_order_acquire);
+      });
+      if (worker.queue.empty()) {
+        return;  // shutdown with nothing left to deliver
+      }
+      event = std::move(worker.queue.front());
+      worker.queue.pop_front();
+      worker.busy = true;
+    }
+    Deliver(event.first, event.second);
+    ControlPlaneMetrics::Instance().publish_queue_depth.Sub(1);
+    {
+      std::lock_guard<std::mutex> lock(worker.mu);
+      worker.busy = false;
+      if (worker.queue.empty()) {
+        worker.cv.notify_all();  // wake Drain
+      }
+    }
+  }
+}
+
+void PubSub::Drain() {
+  for (auto& worker : workers_) {
+    std::unique_lock<std::mutex> lock(worker->mu);
+    worker->cv.wait(lock, [&] { return worker->queue.empty() && !worker->busy; });
+  }
+}
+
+size_t PubSub::QueueDepth() const {
+  size_t depth = 0;
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    depth += worker->queue.size();
+  }
+  return depth;
+}
+
+size_t PubSub::NumSubscriptions() const { return num_subscriptions_.load(std::memory_order_relaxed); }
+
+}  // namespace gcs
+}  // namespace ray

@@ -74,7 +74,7 @@ Status SimNetwork::SchedulerHop(const NodeId& from, const NodeId& to) {
 }
 
 void SimNetwork::SetNodeDead(const NodeId& node, bool dead) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(dead_mu_);
   if (dead) {
     dead_.insert(node);
   } else {
@@ -83,7 +83,7 @@ void SimNetwork::SetNodeDead(const NodeId& node, bool dead) {
 }
 
 bool SimNetwork::IsDead(const NodeId& node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(dead_mu_);
   return dead_.count(node) > 0;
 }
 

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -83,6 +84,11 @@ class SimNetwork {
 
   mutable std::mutex mu_;
   std::unordered_map<NodeId, int64_t> nic_free_at_us_;
+
+  // Liveness is read on every RPC/transfer/fetch but written only when a node
+  // dies or revives, so it gets its own reader-writer lock instead of riding
+  // on the NIC-reservation mutex.
+  mutable std::shared_mutex dead_mu_;
   std::unordered_set<NodeId> dead_;
 };
 

@@ -65,7 +65,7 @@ Status ObjectStore::Put(const ObjectId& id, BufferPtr buffer) {
   RAY_CHECK(buffer != nullptr);
   size_t size = buffer->Size();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::shared_mutex> lock(mu_);
     auto it = objects_.find(id);
     if (it != objects_.end()) {
       // Objects are immutable: re-putting the same id is a no-op (idempotent
@@ -88,7 +88,7 @@ Status ObjectStore::Put(const ObjectId& id, BufferPtr buffer) {
 }
 
 Result<BufferPtr> ObjectStore::GetLocal(const ObjectId& id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return Status::KeyNotFound("object not in local store");
@@ -117,7 +117,7 @@ Result<BufferPtr> ObjectStore::GetLocal(const ObjectId& id) {
 }
 
 bool ObjectStore::ContainsLocal(const ObjectId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return objects_.count(id) > 0;
 }
 
@@ -217,7 +217,7 @@ Result<BufferPtr> ObjectStore::Get(const ObjectId& id, int64_t timeout_us) {
 
 Status ObjectStore::DeleteLocal(const ObjectId& id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::shared_mutex> lock(mu_);
     auto it = objects_.find(id);
     if (it == objects_.end()) {
       return Status::KeyNotFound("object not local");
@@ -232,19 +232,19 @@ Status ObjectStore::DeleteLocal(const ObjectId& id) {
 }
 
 void ObjectStore::CrashClear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   objects_.clear();
   lru_.clear();
   used_bytes_ = 0;
 }
 
 size_t ObjectStore::UsedBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return used_bytes_;
 }
 
 size_t ObjectStore::NumObjects() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return objects_.size();
 }
 

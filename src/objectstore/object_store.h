@@ -15,6 +15,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/buffer.h"
@@ -106,7 +107,10 @@ class ObjectStore {
   ObjectStoreConfig config_;
   PeerResolver peer_resolver_;
 
-  mutable std::mutex mu_;
+  // Reader-writer lock: ContainsLocal is on the task-submission hot path
+  // (every dependency of every Enqueue) and takes it shared; mutations and
+  // LRU touches take it exclusive.
+  mutable std::shared_mutex mu_;
   std::condition_variable arrival_cv_;
   std::unordered_map<ObjectId, Slot> objects_;
   std::list<ObjectId> lru_;  // front = most recent

@@ -133,6 +133,9 @@ void Node::ExecuteTask(const TaskSpec& spec) {
     RAY_CHECK(results.size() == spec.num_returns)
         << "multi-output function produced " << results.size() << " values, spec expects "
         << spec.num_returns;
+    // kDone commits before the result locations publish: a consumer woken by
+    // a result must already observe the producing task as done.
+    rt_->tables->tasks.SetState(spec.id, gcs::TaskState::kDone, id_);
     for (uint32_t i = 0; i < spec.num_returns; ++i) {
       store_->Put(spec.ReturnId(i), std::move(results[i]));
     }
@@ -144,6 +147,7 @@ void Node::ExecuteTask(const TaskSpec& spec) {
   if (!IsAlive()) {
     return;  // died mid-execution: outputs are lost with the store
   }
+  rt_->tables->tasks.SetState(spec.id, gcs::TaskState::kDone, id_);
   store_->Put(spec.ReturnId(0), std::move(result));
   for (uint32_t i = 1; i < spec.num_returns; ++i) {
     store_->Put(spec.ReturnId(i), std::make_shared<Buffer>());
@@ -181,6 +185,7 @@ void Node::CreateActorInstance(const TaskSpec& spec) {
     raw->thread = std::thread([this, raw] { ActorLoop(raw); });
   }
   rt_->tables->actors.SetLocation(spec.actor, id_);
+  rt_->tables->tasks.SetState(spec.id, gcs::TaskState::kDone, id_);
   store_->Put(ActorCursorId(spec.actor, start_index), std::make_shared<Buffer>());
   store_->Put(spec.ReturnId(0), std::make_shared<Buffer>());  // creation-complete signal
 }
@@ -229,8 +234,8 @@ void Node::ExecuteActorMethod(LiveActor* actor, const TaskSpec& spec) {
   if (!IsAlive()) {
     return;
   }
-  store_->Put(spec.ReturnId(0), std::move(result));
   rt_->tables->tasks.SetState(spec.id, gcs::TaskState::kDone, id_);
+  store_->Put(spec.ReturnId(0), std::move(result));
   actor_methods_executed_.fetch_add(1, std::memory_order_relaxed);
   if (spec.actor_method_read_only) {
     return;  // off-chain: no cursor to seal, no checkpoint trigger

@@ -7,6 +7,22 @@
 
 namespace ray {
 
+namespace {
+
+// Locks `mu`, recording the wait in `wait_ema` (microseconds) only when the
+// lock was contended — uncontended acquisitions stay on the fast path.
+std::unique_lock<std::mutex> AcquireTimed(std::mutex& mu, Ema& wait_ema) {
+  std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    Timer timer;
+    lock.lock();
+    wait_ema.Observe(static_cast<double>(timer.ElapsedMicros()));
+  }
+  return lock;
+}
+
+}  // namespace
+
 LocalScheduler::LocalScheduler(const NodeId& node, gcs::GcsTables* tables, SimNetwork* net,
                                ObjectStore* store, GlobalSchedulerPool* global,
                                const LocalSchedulerConfig& config)
@@ -53,16 +69,21 @@ void LocalScheduler::Shutdown() {
   if (fetch_pool_) {
     fetch_pool_->Shutdown();
   }
-  // Drop all Object Table subscriptions.
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [object, token] : subscriptions_) {
+  // Drop all Object Table subscriptions. Unsubscribe blocks until in-flight
+  // callbacks drain, so call it outside deps_mu_.
+  std::vector<std::pair<ObjectId, uint64_t>> subs;
+  {
+    std::lock_guard<std::mutex> lock(deps_mu_);
+    subs.assign(subscriptions_.begin(), subscriptions_.end());
+    subscriptions_.clear();
+  }
+  for (const auto& [object, token] : subs) {
     tables_->objects.UnsubscribeLocations(object, token);
   }
-  subscriptions_.clear();
 }
 
 void LocalScheduler::SetObjectUnreachableHandler(ObjectUnreachableHandler handler) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(deps_mu_);
   unreachable_handler_ = std::move(handler);
 }
 
@@ -70,7 +91,7 @@ Status LocalScheduler::Submit(const TaskSpec& spec) {
   ResourceSet demand = EffectiveDemand(spec);
   bool available_now;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
     // Resources currently held by actors never come back (Section 4.2.2), so
     // "cannot satisfy the task's requirements" must consider availability,
     // not just the node's nominal capacity.
@@ -92,8 +113,9 @@ void LocalScheduler::Enqueue(const TaskSpec& spec) {
   // in-flight tasks from ones lost with a dead node's queue.
   tables_->tasks.SetState(spec.id, gcs::TaskState::kPending, node_);
   std::vector<ObjectId> to_fetch;
+  bool ready_now = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    auto lock = AcquireTimed(deps_mu_, ControlPlaneMetrics::Instance().deps_lock_wait_us);
     PendingTask pending{spec, {}};
     for (const ObjectId& dep : spec.Dependencies()) {
       if (!store_->ContainsLocal(dep)) {
@@ -102,12 +124,22 @@ void LocalScheduler::Enqueue(const TaskSpec& spec) {
         to_fetch.push_back(dep);
       }
     }
+    // If a dependency lands between the ContainsLocal check and here, the
+    // unconditional FetchJob below re-checks and promotes the task.
     if (pending.missing.empty()) {
-      ready_.push_back(spec);
-      TryDispatchLocked();
+      ready_now = true;
     } else {
       waiting_.emplace(spec.id, std::move(pending));
+      num_waiting_.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+  if (ready_now) {
+    {
+      auto lock = AcquireTimed(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
+      ready_.push_back({spec, NowMicros()});
+    }
+    num_ready_.fetch_add(1, std::memory_order_relaxed);
+    TryDispatch();
   }
   for (const ObjectId& object : to_fetch) {
     EnsureFetch(object);
@@ -116,7 +148,7 @@ void LocalScheduler::Enqueue(const TaskSpec& spec) {
 
 void LocalScheduler::EnsureFetch(const ObjectId& object) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(deps_mu_);
     if (subscriptions_.count(object) == 0) {
       // Location-added events drive retries; fires for local puts too.
       uint64_t token = tables_->objects.SubscribeLocations(
@@ -144,14 +176,14 @@ void LocalScheduler::FetchJob(const ObjectId& object) {
   // heartbeat-cadence retry can both fire while a pull is already running,
   // and duplicate pulls charge the wire twice.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(deps_mu_);
     if (!fetching_.insert(object).second) {
       return;
     }
   }
   FetchJobLocked(object);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(deps_mu_);
     fetching_.erase(object);
   }
 }
@@ -174,7 +206,7 @@ void LocalScheduler::FetchJobLocked(const ObjectId& object) {
       if (!producer_healthy) {
         ObjectUnreachableHandler handler;
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          std::lock_guard<std::mutex> lock(deps_mu_);
           handler = unreachable_handler_;
         }
         if (handler) {
@@ -207,7 +239,7 @@ void LocalScheduler::FetchJobLocked(const ObjectId& object) {
     // Every replica died with its node: reconstruction needed (Fig. 11a).
     ObjectUnreachableHandler handler;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(deps_mu_);
       handler = unreachable_handler_;
     }
     if (handler) {
@@ -217,83 +249,122 @@ void LocalScheduler::FetchJobLocked(const ObjectId& object) {
 }
 
 void LocalScheduler::OnObjectLocal(const ObjectId& object) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto bit = blocked_on_.find(object);
-  if (bit == blocked_on_.end()) {
-    return;
-  }
-  for (const TaskId& task : bit->second) {
-    auto wit = waiting_.find(task);
-    if (wit == waiting_.end()) {
-      continue;
+  std::vector<TaskSpec> promoted;
+  uint64_t token = 0;
+  bool had_sub = false;
+  {
+    auto lock = AcquireTimed(deps_mu_, ControlPlaneMetrics::Instance().deps_lock_wait_us);
+    auto bit = blocked_on_.find(object);
+    if (bit == blocked_on_.end()) {
+      return;
     }
-    wit->second.missing.erase(object);
-    if (wit->second.missing.empty()) {
-      ready_.push_back(std::move(wit->second.spec));
-      waiting_.erase(wit);
+    for (const TaskId& task : bit->second) {
+      auto wit = waiting_.find(task);
+      if (wit == waiting_.end()) {
+        continue;
+      }
+      wit->second.missing.erase(object);
+      if (wit->second.missing.empty()) {
+        promoted.push_back(std::move(wit->second.spec));
+        waiting_.erase(wit);
+        num_waiting_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    blocked_on_.erase(bit);
+    auto sit = subscriptions_.find(object);
+    if (sit != subscriptions_.end()) {
+      token = sit->second;
+      had_sub = true;
+      subscriptions_.erase(sit);
     }
   }
-  blocked_on_.erase(bit);
-  auto sit = subscriptions_.find(object);
-  if (sit != subscriptions_.end()) {
-    tables_->objects.UnsubscribeLocations(object, sit->second);
-    subscriptions_.erase(sit);
+  if (had_sub) {
+    // Outside deps_mu_: Unsubscribe blocks until in-flight callbacks finish.
+    tables_->objects.UnsubscribeLocations(object, token);
   }
-  TryDispatchLocked();
+  if (!promoted.empty()) {
+    {
+      auto lock = AcquireTimed(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
+      int64_t now = NowMicros();
+      for (auto& spec : promoted) {
+        ready_.push_back({std::move(spec), now});
+      }
+    }
+    num_ready_.fetch_add(promoted.size(), std::memory_order_relaxed);
+  }
+  TryDispatch();
 }
 
-void LocalScheduler::TryDispatchLocked() {
+void LocalScheduler::TryDispatch() {
   // Scan the ready queue for the first tasks whose demands fit; FIFO among
   // fitting tasks. Actor methods bypass resource gating (their actor already
-  // holds resources) and go straight to the actor mailbox.
-  for (auto it = ready_.begin(); it != ready_.end();) {
-    const TaskSpec& spec = *it;
-    if (spec.IsActorTask()) {
-      TaskSpec s = std::move(*it);
-      it = ready_.erase(it);
-      actor_dispatcher_(s);
-      continue;
+  // holds resources) and go straight to the actor mailbox. The handoff to
+  // workers / mailboxes happens after dispatch_mu_ is released so a slow
+  // mailbox never stalls dependency resolution or Submit.
+  std::vector<TaskSpec> to_workers;
+  std::vector<TaskSpec> to_actors;
+  {
+    auto lock = AcquireTimed(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
+    for (auto it = ready_.begin(); it != ready_.end();) {
+      const TaskSpec& spec = it->spec;
+      if (spec.IsActorTask()) {
+        to_actors.push_back(std::move(it->spec));
+        it = ready_.erase(it);
+        continue;
+      }
+      ResourceSet demand = EffectiveDemand(spec);
+      if (available_.Contains(demand)) {
+        available_.Subtract(demand);
+        running_.fetch_add(1, std::memory_order_relaxed);
+        to_workers.push_back(std::move(it->spec));
+        it = ready_.erase(it);
+      } else {
+        ++it;
+      }
     }
-    ResourceSet demand = EffectiveDemand(spec);
-    if (available_.Contains(demand)) {
-      available_.Subtract(demand);
-      ++running_;
-      TaskSpec s = std::move(*it);
-      it = ready_.erase(it);
-      dispatch_queue_.Push(std::move(s));
-    } else {
-      ++it;
-    }
+  }
+  num_ready_.fetch_sub(to_workers.size() + to_actors.size(), std::memory_order_relaxed);
+  for (auto& spec : to_actors) {
+    actor_dispatcher_(spec);
+  }
+  for (auto& spec : to_workers) {
+    dispatch_queue_.Push(std::move(spec));
   }
 }
 
 void LocalScheduler::WorkerLoop() {
   while (auto spec = dispatch_queue_.Pop()) {
     Timer timer;
+    // Counted on pickup, not completion: a consumer woken by this task's
+    // result (published mid-executor) must already see it in the counter.
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     // No kRunning transition: reconstruction treats pending-on-a-live-node
     // and running identically, so the extra GCS write per task buys nothing.
+    // The executor owns the terminal kDone/kLost transition — it must commit
+    // kDone *before* publishing result objects so that anyone woken by a
+    // result's location already observes the task as done.
     executor_(*spec);
-    tables_->tasks.SetState(spec->id, gcs::TaskState::kDone, node_);
     FinishTask(*spec, timer.ElapsedSeconds());
   }
 }
 
 void LocalScheduler::FinishTask(const TaskSpec& spec, double duration_s) {
   task_duration_ema_.Observe(duration_s);
-  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!spec.IsActorCreation()) {
-    // Actor creations never release: the live actor keeps holding its
-    // resources until the node dies (Section 4.2.2 resource accounting).
-    available_.Add(EffectiveDemand(spec));
+  {
+    auto lock = AcquireTimed(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
+    if (!spec.IsActorCreation()) {
+      // Actor creations never release: the live actor keeps holding its
+      // resources until the node dies (Section 4.2.2 resource accounting).
+      available_.Add(EffectiveDemand(spec));
+    }
   }
-  --running_;
-  TryDispatchLocked();
+  running_.fetch_sub(1, std::memory_order_relaxed);
+  TryDispatch();
 }
 
 size_t LocalScheduler::QueueLength() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return waiting_.size() + ready_.size() + running_;
+  return num_waiting_.load(std::memory_order_relaxed) +
+         num_ready_.load(std::memory_order_relaxed) + running_.load(std::memory_order_relaxed);
 }
 
 gcs::Heartbeat LocalScheduler::MakeHeartbeat() const {
@@ -302,7 +373,7 @@ gcs::Heartbeat LocalScheduler::MakeHeartbeat() const {
   hb.avg_task_duration_s = task_duration_ema_.HasValue() ? task_duration_ema_.Value() : 0.0;
   hb.avg_bandwidth_bytes_s = bandwidth_ema_.HasValue() ? bandwidth_ema_.Value() : 0.0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
     hb.available = available_;
   }
   hb.total = config_.total_resources;
@@ -328,7 +399,7 @@ void LocalScheduler::RescueStrandedTasks() {
   // and FetchJob's lineage check (above) is what detects those.
   std::vector<ObjectId> blocked;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(deps_mu_);
     blocked.reserve(blocked_on_.size());
     for (const auto& [object, tasks] : blocked_on_) {
       blocked.push_back(object);
@@ -339,23 +410,28 @@ void LocalScheduler::RescueStrandedTasks() {
   }
 
   // Liveness backstop: a task placed here against stale heartbeats may need
-  // more than this node can ever free (actors hold resources permanently).
-  // With nothing running, no release will ever come — re-forward such tasks.
+  // more than this node can ever free — actor creations hold resources until
+  // node death, so availability shrinks permanently. Re-forward a ready task
+  // whose demand exceeds current availability once it has waited out
+  // stranded_rescue_us (immediately when nothing is running: with running_
+  // == 0 no release is coming at all).
   std::vector<TaskSpec> stranded;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (running_ > 0) {
-      return;
-    }
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    bool idle = running_.load(std::memory_order_relaxed) == 0;
+    int64_t now = NowMicros();
     for (auto it = ready_.begin(); it != ready_.end();) {
-      if (!it->IsActorTask() && !available_.Contains(EffectiveDemand(*it))) {
-        stranded.push_back(std::move(*it));
+      bool overdue = idle || now - it->ready_at_us >= config_.stranded_rescue_us;
+      if (overdue && !it->spec.IsActorTask() &&
+          !available_.Contains(EffectiveDemand(it->spec))) {
+        stranded.push_back(std::move(it->spec));
         it = ready_.erase(it);
       } else {
         ++it;
       }
     }
   }
+  num_ready_.fetch_sub(stranded.size(), std::memory_order_relaxed);
   for (const TaskSpec& spec : stranded) {
     spilled_.fetch_add(1, std::memory_order_relaxed);
     Status s = global_->Schedule(spec, node_);

@@ -11,6 +11,14 @@
 // Object Table subscription; when a location is published anywhere in the
 // cluster the scheduler pulls a copy into the local store, and tasks whose
 // inputs are all local become ready. Dispatch is resource-gated (CPU/GPU).
+//
+// Locking (control-plane fast path PR): the old single big lock is split in
+// two so dependency resolution and dispatch do not serialize against each
+// other. `deps_mu_` guards the waiting-side state (waiting_, blocked_on_,
+// subscriptions_, fetching_); `dispatch_mu_` guards the dispatch-side state
+// (ready_, available_, running_). Handing tasks to workers / actor mailboxes
+// happens outside both locks, and queue-length counters are atomics so
+// Submit's overload check and heartbeats never contend with dispatch.
 #ifndef RAY_SCHEDULER_LOCAL_SCHEDULER_H_
 #define RAY_SCHEDULER_LOCAL_SCHEDULER_H_
 
@@ -49,6 +57,12 @@ struct LocalSchedulerConfig {
   bool always_forward_to_global = false;
   int num_fetch_threads = 2;
   int num_workers = 0;  // 0 = derive from CPU resource
+  // A ready task whose demand exceeds this node's *available* resources is
+  // re-forwarded to the global scheduler once it has sat ready this long.
+  // Availability can shrink permanently (actors hold resources until node
+  // death), so a task placed here against stale heartbeats may otherwise
+  // never run even while other tasks keep the node busy.
+  int64_t stranded_rescue_us = 200'000;
 };
 
 class LocalScheduler {
@@ -94,10 +108,15 @@ class LocalScheduler {
     TaskSpec spec;
     std::unordered_set<ObjectId> missing;
   };
+  struct ReadyTask {
+    TaskSpec spec;
+    int64_t ready_at_us = 0;
+  };
 
   void Enqueue(const TaskSpec& spec);
-  // Must hold mu_. Moves the task to ready / dispatches if possible.
-  void TryDispatchLocked();
+  // Moves ready tasks to workers / actor mailboxes while resources allow.
+  // Takes dispatch_mu_ internally; the handoff itself runs unlocked.
+  void TryDispatch();
   // Marks `object` locally available; promotes tasks waiting on it.
   void OnObjectLocal(const ObjectId& object);
   // Ensures a subscription + fetch attempt exists for `object`.
@@ -119,9 +138,9 @@ class LocalScheduler {
 
   Executor executor_;
   ActorDispatcher actor_dispatcher_;
-  ObjectUnreachableHandler unreachable_handler_;
 
-  mutable std::mutex mu_;
+  // --- waiting side: dependency tracking ---
+  mutable std::mutex deps_mu_;
   std::unordered_map<TaskId, PendingTask> waiting_;
   // object -> waiting tasks blocked on it
   std::unordered_map<ObjectId, std::vector<TaskId>> blocked_on_;
@@ -129,9 +148,17 @@ class LocalScheduler {
   std::unordered_map<ObjectId, uint64_t> subscriptions_;
   // objects with a pull currently in flight (dedupe guard)
   std::unordered_set<ObjectId> fetching_;
-  std::deque<TaskSpec> ready_;
+  ObjectUnreachableHandler unreachable_handler_;
+
+  // --- dispatch side: resource gating ---
+  mutable std::mutex dispatch_mu_;
+  std::deque<ReadyTask> ready_;
   ResourceSet available_;
-  size_t running_ = 0;
+
+  // Lock-free queue accounting so Submit / heartbeats never take a lock.
+  std::atomic<size_t> num_waiting_{0};
+  std::atomic<size_t> num_ready_{0};
+  std::atomic<size_t> running_{0};
 
   BlockingQueue<TaskSpec> dispatch_queue_;
   std::vector<std::thread> workers_;

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "gcs/chain.h"
 #include "gcs/gcs.h"
 #include "gcs/kv_store.h"
@@ -173,10 +174,96 @@ TEST(GcsTest, SubscribeFiresOnPutAndAppend) {
   gcs.Put("watched", "a");
   gcs.Append("watched", "b");
   gcs.Put("unwatched", "c");
+  gcs.DrainPublishes();  // delivery is async: wait for the publish pool
   EXPECT_EQ(events, (std::vector<std::string>{"a", "b"}));
   gcs.Unsubscribe("watched", token);
   gcs.Put("watched", "d");
+  gcs.DrainPublishes();
   EXPECT_EQ(events.size(), 2u);
+}
+
+// Concurrent writers on the same shard share replication rounds: the batcher
+// must coalesce them (fewer rounds than ops) without losing read-your-writes.
+TEST(GcsTest, GroupCommitCoalescesConcurrentWrites) {
+  ControlPlaneMetrics::Instance().Reset();
+  GcsConfig config;
+  config.num_shards = 1;  // all writers collide on one shard's batcher
+  config.batch_max_ops = 64;
+  Gcs gcs(config);
+  constexpr int kThreads = 8;
+  constexpr int kWrites = 40;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&gcs, t] {
+      for (int i = 0; i < kWrites; ++i) {
+        std::string key = "w" + std::to_string(t) + ":" + std::to_string(i);
+        ASSERT_TRUE(gcs.Put(key, "v" + std::to_string(i)).ok());
+        // Read-your-writes: the Put must be committed when it returns.
+        auto got = gcs.Get(key);
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(*got, "v" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& w : writers) {
+    w.join();
+  }
+  uint64_t ops = ControlPlaneMetrics::Instance().gcs_batched_ops.Value();
+  uint64_t rounds = ControlPlaneMetrics::Instance().gcs_batch_rounds.Value();
+  EXPECT_EQ(ops, static_cast<uint64_t>(kThreads) * kWrites);
+  EXPECT_LT(rounds, ops) << "concurrent writes never shared a replication round";
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kWrites; ++i) {
+      EXPECT_TRUE(gcs.Contains("w" + std::to_string(t) + ":" + std::to_string(i)));
+    }
+  }
+}
+
+// batch_max_ops <= 1 must fall back to the unbatched write path.
+TEST(GcsTest, BatchingDisabledWritesDirectly) {
+  ControlPlaneMetrics::Instance().Reset();
+  GcsConfig config;
+  config.batch_max_ops = 1;
+  Gcs gcs(config);
+  EXPECT_TRUE(gcs.Put("k", "v").ok());
+  EXPECT_TRUE(gcs.Append("l", "e").ok());
+  EXPECT_TRUE(gcs.Delete("k").ok());
+  EXPECT_FALSE(gcs.Contains("k"));
+  EXPECT_EQ(gcs.GetList("l")->size(), 1u);
+  EXPECT_EQ(ControlPlaneMetrics::Instance().gcs_batch_rounds.Value(), 0u);
+}
+
+// Appends to one list key from many threads must all commit exactly once and
+// publish exactly once each, in commit order.
+TEST(GcsTest, BatchedAppendsAllCommitAndPublishInCommitOrder) {
+  GcsConfig config;
+  config.num_shards = 2;
+  config.publish_workers = 1;
+  Gcs gcs(config);
+  std::vector<std::string> published;
+  uint64_t token = gcs.Subscribe(
+      "list", [&](const std::string&, const std::string& v) { published.push_back(v); });
+  constexpr int kThreads = 6;
+  constexpr int kAppends = 30;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&gcs, t] {
+      for (int i = 0; i < kAppends; ++i) {
+        ASSERT_TRUE(gcs.Append("list", std::to_string(t * kAppends + i)).ok());
+      }
+    });
+  }
+  for (auto& w : writers) {
+    w.join();
+  }
+  gcs.DrainPublishes();
+  auto list = gcs.GetList("list");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), static_cast<size_t>(kThreads) * kAppends);
+  // Every committed element was published, in the order the chain holds them.
+  ASSERT_EQ(published.size(), list->size());
+  EXPECT_EQ(published, *list);
+  gcs.Unsubscribe("list", token);
 }
 
 TEST(GcsTest, AutoFlushCapsMemory) {
@@ -237,6 +324,7 @@ TEST_F(TablesTest, LocationSubscriptionFiresOnAdd) {
       obj, [&](const ObjectId&, const NodeId& node) { seen.push_back(node); });
   tables_.objects.AddLocation(obj, n, 5);
   tables_.objects.RemoveLocation(obj, n);  // removals do not fire
+  gcs_.DrainPublishes();  // delivery is async: wait for the publish pool
   ASSERT_EQ(seen.size(), 1u);
   EXPECT_EQ(seen[0], n);
   tables_.objects.UnsubscribeLocations(obj, token);
