@@ -1,0 +1,277 @@
+// Tracing overhead + paper-style task timeline. Part 1 reruns the Fig. 8b
+// throughput workload (8 nodes, 2ms tasks) with tracing compiled in but
+// disabled, sampled (the default), and full, to measure what the tracer
+// costs on the task-submission hot path — the acceptance bar is <3%
+// regression for default sampling vs disabled. Part 2 runs a 1000-task
+// two-phase workload with cross-node data dependencies under full-detail
+// tracing and exports the merged cross-node timeline as chrome://tracing
+// JSON plus a per-stage latency breakdown (submit, dep-wait, queue, exec,
+// transfer, GCS-commit, ...). Results land in BENCH_trace_overhead.json.
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "runtime/api.h"
+#include "trace/collector.h"
+#include "trace/trace.h"
+
+namespace ray {
+namespace {
+
+constexpr int kTaskMs = 2;
+
+int SleepTask(int ms) {
+  SleepMicros(static_cast<int64_t>(ms) * 1000);
+  return ms;
+}
+
+std::vector<float> Produce(int elements) { return std::vector<float>(elements, 1.0f); }
+
+float Consume(std::vector<float> data) {
+  float sum = 0;
+  for (float v : data) {
+    sum += v;
+  }
+  return sum;
+}
+
+double RunThroughput(int num_nodes, int tasks_per_node, trace::TraceMode mode) {
+  // Default TraceConfig apart from the mode: the acceptance bar is "default
+  // sampling vs tracing compiled in but disabled", so measure the defaults.
+  trace::TraceConfig cfg;
+  cfg.mode = mode;
+  trace::Tracer::Instance().Configure(cfg);
+  ClusterConfig config;
+  config.num_nodes = num_nodes;
+  config.scheduler.total_resources = ResourceSet::Cpu(4);
+  config.scheduler.num_workers = 4;
+  config.scheduler.spillover_queue_threshold = 1u << 20;  // keep tasks local
+  config.gcs.num_shards = 4;
+  config.num_global_schedulers = 2;
+  config.net.control_latency_us = 20;
+  Cluster cluster(config);
+  cluster.RegisterFunction("sleep_task", &SleepTask);
+  SleepMicros(30'000);  // first heartbeats
+
+  // Untimed warmup batch: the first Emit on each thread allocates (and
+  // first-touch zeroes) that thread's trace ring — ~1MB across ~100 emitting
+  // threads per cluster. That one-time setup cost is not steady-state
+  // throughput, so pay it before the timer starts (with tracing off it
+  // never happens, which would otherwise show up as ~4% phantom overhead).
+  {
+    std::vector<std::thread> warm;
+    for (int n = 0; n < num_nodes; ++n) {
+      warm.emplace_back([&, n] {
+        Ray ray = Ray::OnNode(cluster, n);
+        std::vector<ObjectRef<int>> refs;
+        for (int t = 0; t < 8; ++t) {
+          refs.push_back(ray.Call<int>("sleep_task", kTaskMs));
+        }
+        for (auto& ref : refs) {
+          RAY_CHECK(ray.Get(ref, 300'000'000).ok());
+        }
+      });
+    }
+    for (auto& d : warm) {
+      d.join();
+    }
+  }
+
+  Timer timer;
+  std::vector<std::thread> drivers;
+  for (int n = 0; n < num_nodes; ++n) {
+    drivers.emplace_back([&, n] {
+      Ray ray = Ray::OnNode(cluster, n);
+      std::vector<ObjectRef<int>> refs;
+      refs.reserve(tasks_per_node);
+      for (int t = 0; t < tasks_per_node; ++t) {
+        refs.push_back(ray.Call<int>("sleep_task", kTaskMs));
+      }
+      for (auto& ref : refs) {
+        auto r = ray.Get(ref, 300'000'000);
+        RAY_CHECK(r.ok()) << r.status().ToString();
+      }
+    });
+  }
+  for (auto& d : drivers) {
+    d.join();
+  }
+  double seconds = timer.ElapsedSeconds();
+  return static_cast<double>(num_nodes) * tasks_per_node / seconds;
+}
+
+struct TimelineResult {
+  size_t events = 0;
+  size_t timelines = 0;
+  size_t cross_node_timelines = 0;
+  trace::LatencyBreakdown breakdown;
+  bool json_written = false;
+};
+
+// 1000 tasks across 4 nodes: each node's driver produces objects locally,
+// then consumes the neighbouring node's objects — every consumer has a
+// remote input, so the trace must show dep-wait, fetch and wire transfer
+// alongside submit/queue/exec/put and the GCS commits underneath.
+TimelineResult RunTimeline(int total_tasks, const std::string& trace_path) {
+  trace::TraceConfig cfg;
+  cfg.mode = trace::TraceMode::kFull;
+  cfg.ring_capacity = 8192;  // keep the whole 1000-task run in the rings
+  trace::Tracer::Instance().Configure(cfg);
+  constexpr int kNodes = 4;
+  int per_node = total_tasks / (2 * kNodes);  // half producers, half consumers
+  ClusterConfig config;
+  config.num_nodes = kNodes;
+  config.scheduler.total_resources = ResourceSet::Cpu(4);
+  config.scheduler.num_workers = 4;
+  // Route every submission through the global scheduler: its locality-aware
+  // placement runs consumers next to their (remote) input, away from the
+  // submitting driver's node — the timelines the trace must stitch across
+  // nodes. Queue-pressure spillover alone is too timing-dependent here.
+  config.scheduler.always_forward_to_global = true;
+  config.gcs.num_shards = 4;
+  config.net.control_latency_us = 20;
+  Cluster cluster(config);
+  cluster.RegisterFunction("produce", &Produce);
+  cluster.RegisterFunction("consume", &Consume);
+  SleepMicros(30'000);
+
+  constexpr int kElements = 16 * 1024;  // 64KB objects: real transfers
+  std::vector<std::vector<ObjectRef<std::vector<float>>>> produced(kNodes);
+  {
+    std::vector<std::thread> drivers;
+    for (int n = 0; n < kNodes; ++n) {
+      drivers.emplace_back([&, n] {
+        Ray ray = Ray::OnNode(cluster, n);
+        for (int t = 0; t < per_node; ++t) {
+          produced[n].push_back(ray.Call<std::vector<float>>("produce", kElements));
+        }
+        for (auto& ref : produced[n]) {
+          RAY_CHECK(ray.Get(ref, 300'000'000).ok());
+        }
+      });
+    }
+    for (auto& d : drivers) {
+      d.join();
+    }
+  }
+  {
+    std::vector<std::thread> drivers;
+    for (int n = 0; n < kNodes; ++n) {
+      drivers.emplace_back([&, n] {
+        Ray ray = Ray::OnNode(cluster, n);
+        std::vector<ObjectRef<float>> refs;
+        for (const auto& input : produced[(n + 1) % kNodes]) {
+          refs.push_back(ray.Call<float>("consume", input));
+        }
+        for (auto& ref : refs) {
+          RAY_CHECK(ray.Get(ref, 300'000'000).ok());
+        }
+      });
+    }
+    for (auto& d : drivers) {
+      d.join();
+    }
+  }
+
+  trace::Collector collector;
+  std::vector<trace::TraceEvent> events = collector.Snapshot();
+  TimelineResult result;
+  result.events = events.size();
+  result.breakdown = trace::Collector::Breakdown(events);
+  auto timelines = trace::Collector::StitchTasks(events);
+  result.timelines = timelines.size();
+  for (const auto& tl : timelines) {
+    if (tl.num_nodes > 1) {
+      ++result.cross_node_timelines;
+    }
+  }
+  result.json_written = collector.WriteChromeTrace(trace_path).ok();
+  return result;
+}
+
+}  // namespace
+}  // namespace ray
+
+int main() {
+  using namespace ray;
+  bench::Banner("Tracing overhead", "ring-buffer tracer cost on the Fig. 8b throughput path",
+                "8 nodes, 4 workers/node, 2ms tasks; modes off/sampled/full; 1k-task timeline");
+  // Many short reps beat few long ones here: the host's background noise
+  // arrives as multi-second slowdowns, and best-of-N converges on runs that
+  // land inside quiet windows.
+  int per_node = bench::QuickMode() ? 150 : 400;
+  const int kReps = bench::QuickMode() ? 3 : 10;
+  bench::BenchJson json("trace_overhead");
+  json.Set("task_ms", kTaskMs)
+      .Set("tasks_per_node", per_node)
+      .Set("nodes", 8)
+      .Set("sample_period", 16);
+
+  std::printf("-- throughput by trace mode (8 nodes, best of %d) --\n", kReps);
+  std::printf("%-10s %-14s %-12s\n", "mode", "tasks/s", "overhead");
+  // This workload is driver-bound (submission cost ~1.7ms/task, GCS-write
+  // dominated), and run-to-run drift is several percent — the same scale as
+  // the effect being measured. Interleave the modes round-robin, rotating
+  // the order each round so every mode visits every position (drift within
+  // a round is position-correlated), discard a warmup run (first-touch page
+  // faults), and take best-of-N per mode.
+  const trace::TraceMode kModes[] = {trace::TraceMode::kOff, trace::TraceMode::kSampled,
+                                     trace::TraceMode::kFull};
+  RunThroughput(8, per_node, trace::TraceMode::kOff);  // warmup, discarded
+  double best[3] = {0, 0, 0};
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int i = 0; i < 3; ++i) {
+      int m = (rep + i) % 3;
+      double tput = RunThroughput(8, per_node, kModes[m]);
+      std::printf("  rep %d %-8s %.0f tasks/s (%llu events)\n", rep,
+                  trace::TraceModeName(kModes[m]), tput,
+                  static_cast<unsigned long long>(trace::Tracer::Instance().EventsRecorded()));
+      best[m] = std::max(best[m], tput);
+    }
+  }
+  double off = best[0];
+  for (int m = 0; m < 3; ++m) {
+    double tput = best[m];
+    double overhead_pct = off > 0 ? (off - tput) / off * 100.0 : 0.0;
+    std::printf("%-10s %-14.0f %+.2f%%\n", trace::TraceModeName(kModes[m]), tput, overhead_pct);
+    json.AddRow("throughput", {{"mode", static_cast<double>(kModes[m])},
+                               {"tasks_per_s", tput},
+                               {"overhead_pct", overhead_pct}});
+    if (kModes[m] == trace::TraceMode::kSampled) {
+      json.Set("overhead_sampled_pct", overhead_pct);
+    }
+    if (kModes[m] == trace::TraceMode::kFull) {
+      json.Set("overhead_full_pct", overhead_pct);
+    }
+  }
+
+  std::printf("\n-- 1000-task cross-node timeline (full detail) --\n");
+  const std::string trace_path = "trace_timeline.json";
+  TimelineResult tl = RunTimeline(1000, trace_path);
+  std::printf("%zu events, %zu task timelines (%zu cross-node) -> %s\n", tl.events, tl.timelines,
+              tl.cross_node_timelines, trace_path.c_str());
+  std::printf("%s", tl.breakdown.Render().c_str());
+  json.Set("timeline_events", static_cast<double>(tl.events));
+  json.Set("timeline_tasks", static_cast<double>(tl.timelines));
+  json.Set("timeline_cross_node_tasks", static_cast<double>(tl.cross_node_timelines));
+  json.Set("timeline_json_written", tl.json_written ? 1.0 : 0.0);
+  // Acceptance: the full-detail breakdown covers the whole lifecycle.
+  const std::pair<trace::Stage, const char*> required[] = {
+      {trace::Stage::kSubmit, "covers_submit"},   {trace::Stage::kDepWait, "covers_dep_wait"},
+      {trace::Stage::kQueue, "covers_queue"},     {trace::Stage::kExec, "covers_exec"},
+      {trace::Stage::kTransfer, "covers_transfer"}, {trace::Stage::kGcsCommit, "covers_gcs_commit"},
+  };
+  bool all_covered = true;
+  for (const auto& [stage, key] : required) {
+    bool covered = tl.breakdown.Covers(stage);
+    all_covered = all_covered && covered;
+    json.Set(key, covered ? 1.0 : 0.0);
+  }
+  std::printf("lifecycle coverage (submit/dep-wait/queue/exec/transfer/gcs-commit): %s\n",
+              all_covered ? "complete" : "INCOMPLETE");
+  json.Write();
+  return 0;
+}

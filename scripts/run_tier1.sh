@@ -7,3 +7,9 @@ cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+# Tracing smoke check: run a small traced workload end to end and make sure
+# the exporter produces a non-empty chrome://tracing JSON file.
+./build/src/tools/trace_dump build/trace.json
+test -s build/trace.json
+echo "trace_dump smoke: OK (build/trace.json)"

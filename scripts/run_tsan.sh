@@ -6,15 +6,16 @@
 #   pubsub_test          - subscribe/unsubscribe/publish churn, ordering
 #   scheduler_test       - submit -> dispatch handoff, rescue, work stealing
 #   net_objectstore_test - shared-mutex object store, sim network
+#   trace_test           - lock-free trace rings, pause handshake vs snapshot
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j"$(nproc)" \
-  --target gcs_test pubsub_test scheduler_test net_objectstore_test
+  --target gcs_test pubsub_test scheduler_test net_objectstore_test trace_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
-for t in gcs_test pubsub_test scheduler_test net_objectstore_test; do
+for t in gcs_test pubsub_test scheduler_test net_objectstore_test trace_test; do
   echo "== TSan: $t =="
   ./build-tsan/tests/"$t"
 done

@@ -7,6 +7,16 @@
 namespace ray {
 
 std::atomic<LogLevel> Logger::threshold_{LogLevel::kInfo};
+std::atomic<Logger::FatalHook> Logger::fatal_hook_{nullptr};
+
+void Logger::RunFatalHook() {
+  // Clear before running: if the hook itself hits a fatal check we abort
+  // instead of recursing.
+  FatalHook hook = fatal_hook_.exchange(nullptr, std::memory_order_acq_rel);
+  if (hook != nullptr) {
+    hook();
+  }
+}
 
 void Logger::Emit(LogLevel level, const char* file, int line, const std::string& message) {
   static std::mutex mu;

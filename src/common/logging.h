@@ -15,12 +15,19 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFa
 
 class Logger {
  public:
+  // Runs once, right before a fatal message aborts the process — the trace
+  // flight recorder hooks in here to dump a postmortem timeline.
+  using FatalHook = void (*)();
+
   static LogLevel Threshold() { return threshold_.load(std::memory_order_relaxed); }
   static void SetThreshold(LogLevel level) { threshold_.store(level, std::memory_order_relaxed); }
   static void Emit(LogLevel level, const char* file, int line, const std::string& message);
+  static void SetFatalHook(FatalHook hook) { fatal_hook_.store(hook, std::memory_order_release); }
+  static void RunFatalHook();
 
  private:
   static std::atomic<LogLevel> threshold_;
+  static std::atomic<FatalHook> fatal_hook_;
 };
 
 class LogMessage {
@@ -29,6 +36,7 @@ class LogMessage {
   ~LogMessage() {
     Logger::Emit(level_, file_, line_, stream_.str());
     if (level_ == LogLevel::kFatal) {
+      Logger::RunFatalHook();
       std::abort();
     }
   }

@@ -5,6 +5,7 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "trace/trace.h"
 
 namespace ray {
 namespace gcs {
@@ -68,7 +69,12 @@ void Gcs::ShardBatcher::FlusherLoop() {
     lock.unlock();
 
     // One chain replication round commits the whole batch.
-    Status status = shard_->ApplyBatch(ops);
+    Status status;
+    {
+      trace::Span span(trace::Stage::kGcsCommit, TaskId(), ObjectId(), NodeId(), NodeId(),
+                       ops.size());
+      status = shard_->ApplyBatch(ops);
+    }
     metrics.gcs_batch_rounds.Add(1);
     metrics.gcs_batched_ops.Add(batch.size());
     metrics.gcs_batch_size.Observe(static_cast<double>(batch.size()));
@@ -129,6 +135,7 @@ Status Gcs::Write(ChainOp op, bool publish) {
   }
   // Batching disabled: run the op as its own round on the caller's thread.
   ChainShard& shard = *shards_[index];
+  trace::Span span(trace::Stage::kGcsCommit, TaskId(), ObjectId(), NodeId(), NodeId(), 1);
   Status status;
   switch (op.kind) {
     case ChainOp::Kind::kPut:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/clock.h"
+#include "trace/trace.h"
 
 namespace ray {
 
@@ -29,6 +30,7 @@ Status SimNetwork::Transfer(const NodeId& from, const NodeId& to, uint64_t bytes
   }
   num_transfers_.fetch_add(1, std::memory_order_relaxed);
   total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  trace::Span span(trace::Stage::kTransfer, TaskId(), ObjectId(), to, from, bytes);
 
   int64_t wire_us = EstimateTransferMicros(bytes, streams) - config_.latency_us;
   int64_t done;

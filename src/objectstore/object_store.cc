@@ -6,6 +6,7 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/sync.h"
+#include "trace/trace.h"
 
 namespace ray {
 
@@ -47,6 +48,7 @@ void ObjectStore::TouchLocked(const ObjectId& id, Slot& slot) {
 }
 
 void ObjectStore::EvictLocked(size_t target) {
+  auto& tracer = trace::Tracer::Instance();
   while (used_bytes_ > target && !lru_.empty()) {
     ObjectId victim = lru_.back();
     auto it = objects_.find(victim);
@@ -54,6 +56,10 @@ void ObjectStore::EvictLocked(size_t target) {
     if (!it->second.on_disk) {
       it->second.on_disk = true;
       used_bytes_ -= it->second.buffer->Size();
+      if (tracer.ShouldRecordInfra()) {
+        tracer.Emit(trace::Stage::kEvict, NowMicros(), 0, TaskId(), victim, node_, NodeId(),
+                    it->second.buffer->Size());
+      }
     }
     lru_.pop_back();
     // Disk-tier objects leave the LRU list; re-touch on promotion re-adds.
@@ -64,6 +70,7 @@ void ObjectStore::EvictLocked(size_t target) {
 Status ObjectStore::Put(const ObjectId& id, BufferPtr buffer) {
   RAY_CHECK(buffer != nullptr);
   size_t size = buffer->Size();
+  trace::Span span(trace::Stage::kPut, TaskId(), id, node_, NodeId(), size);
   {
     std::lock_guard<std::shared_mutex> lock(mu_);
     auto it = objects_.find(id);
@@ -96,6 +103,7 @@ Result<BufferPtr> ObjectStore::GetLocal(const ObjectId& id) {
   if (it->second.on_disk) {
     // Promote from the disk tier, charging the read penalty.
     size_t size = it->second.buffer->Size();
+    trace::Span span(trace::Stage::kPromote, TaskId(), id, node_, NodeId(), size);
     lock.unlock();
     PreciseDelayMicros(static_cast<int64_t>(static_cast<double>(size) / config_.disk_read_bytes_per_sec * 1e6));
     lock.lock();
@@ -131,6 +139,7 @@ Status ObjectStore::PullFrom(const ObjectId& id, ObjectStore& src) {
     remote = *r;
   }
   size_t size = remote->Size();
+  trace::Span span(trace::Stage::kFetch, TaskId(), id, node_, src.node(), size);
   int streams = size >= config_.parallel_copy_threshold ? config_.num_transfer_threads : 1;
   RAY_RETURN_NOT_OK(net_->Transfer(src.node(), node_, size, streams));
   // Physically copy the bytes (replication, not aliasing, across nodes).
@@ -154,6 +163,7 @@ Status ObjectStore::Fetch(const ObjectId& id, const NodeId& src_node) {
 }
 
 Result<BufferPtr> ObjectStore::Get(const ObjectId& id, int64_t timeout_us) {
+  trace::Span span(trace::Stage::kGet, TaskId(), id, node_);
   int64_t deadline = timeout_us < 0 ? -1 : NowMicros() + timeout_us;
   for (;;) {
     if (deadline >= 0 && NowMicros() >= deadline) {

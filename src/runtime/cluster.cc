@@ -4,6 +4,7 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "trace/trace.h"
 
 namespace ray {
 
@@ -121,6 +122,9 @@ void Cluster::RecordLineage(const TaskSpec& spec, const NodeId& submitter) {
 }
 
 Status Cluster::SubmitTask(const TaskSpec& spec, const NodeId& from) {
+  // Covers the driver-side cost: lineage writes plus routing up to the point
+  // where the task is queued somewhere (local, global, or actor mailbox).
+  trace::Span span(trace::Stage::kSubmit, spec.id, ObjectId(), from);
   RecordLineage(spec, from);
   if (spec.IsActorTask()) {
     return RouteActorTask(spec, from);
@@ -159,6 +163,7 @@ Status Cluster::RouteActorTask(const TaskSpec& spec, const NodeId& from) {
 }
 
 void Cluster::ReconstructObject(const ObjectId& object) {
+  trace::Span span(trace::Stage::kReconstruct, TaskId(), object);
   // Iterative worklist: rebuilding an object may require rebuilding the
   // producers of its inputs (linear chains in Fig. 11a).
   std::deque<ObjectId> work{object};

@@ -2,6 +2,8 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "common/serialization.h"
+#include "trace/trace.h"
 
 namespace ray {
 
@@ -68,6 +70,16 @@ void Node::Kill() {
   // advertise death, then tear down local components.
   rt_->net->SetNodeDead(id_, true);
   rt_->tables->nodes.MarkDead(id_);
+  // Node death is rare and must survive the process, so it goes to the
+  // durable GCS event log (Profiler wire format) — not the in-memory tracer.
+  {
+    int64_t now = NowMicros();
+    Writer w;
+    Put(w, std::string("node-death:") + ToShortString(id_));
+    w.WritePod<int64_t>(now);
+    w.WritePod<int64_t>(now);
+    rt_->tables->events.Append("cluster", w.Finish()->ToString());
+  }
   rt_->registry->Remove(id_);
   scheduler_->Shutdown();
   {
@@ -220,6 +232,7 @@ void Node::ExecuteActorMethod(LiveActor* actor, const TaskSpec& spec) {
   }
   ExecutionContext ctx{rt_->cluster, id_, spec.id};
   ScopedExecutionContext scoped(&ctx);
+  trace::Span span(trace::Stage::kActorExec, spec.id, ObjectId(), id_);
   std::vector<BufferPtr> args;
   Status s = ResolveArgs(spec, &args);
   if (!s.ok()) {

@@ -97,10 +97,12 @@ Result<NodeId> GlobalScheduler::Place(const TaskSpec& spec) const {
 }
 
 Status GlobalScheduler::Schedule(const TaskSpec& spec, const NodeId& from) {
+  trace::Span span(trace::Stage::kForward, spec.id, ObjectId(), from);
   auto target = Place(spec);
   if (!target.ok()) {
     return target.status();
   }
+  span.SetPeer(*target);
   num_scheduled_.fetch_add(1, std::memory_order_relaxed);
   // Control-plane hops: submitter -> global scheduler -> chosen node. The
   // injected scheduler latency (Fig. 12b) is charged on this path.

@@ -103,6 +103,10 @@ Status LocalScheduler::Submit(const TaskSpec& spec) {
     return Status::Ok();
   }
   spilled_.fetch_add(1, std::memory_order_relaxed);
+  if (trace::Tracer::Instance().ShouldRecordTask(spec.id)) {
+    trace::Tracer::Instance().Emit(trace::Stage::kSpill, NowMicros(), 0, spec.id, ObjectId(),
+                                   node_);
+  }
   return global_->Schedule(spec, node_);
 }
 
@@ -116,7 +120,7 @@ void LocalScheduler::Enqueue(const TaskSpec& spec) {
   bool ready_now = false;
   {
     auto lock = AcquireTimed(deps_mu_, ControlPlaneMetrics::Instance().deps_lock_wait_us);
-    PendingTask pending{spec, {}};
+    PendingTask pending{spec, {}, NowMicros()};
     for (const ObjectId& dep : spec.Dependencies()) {
       if (!store_->ContainsLocal(dep)) {
         pending.missing.insert(dep);
@@ -249,7 +253,7 @@ void LocalScheduler::FetchJobLocked(const ObjectId& object) {
 }
 
 void LocalScheduler::OnObjectLocal(const ObjectId& object) {
-  std::vector<TaskSpec> promoted;
+  std::vector<std::pair<TaskSpec, int64_t>> promoted;  // spec, dep-wait start
   uint64_t token = 0;
   bool had_sub = false;
   {
@@ -265,7 +269,7 @@ void LocalScheduler::OnObjectLocal(const ObjectId& object) {
       }
       wit->second.missing.erase(object);
       if (wit->second.missing.empty()) {
-        promoted.push_back(std::move(wit->second.spec));
+        promoted.emplace_back(std::move(wit->second.spec), wit->second.enqueued_us);
         waiting_.erase(wit);
         num_waiting_.fetch_sub(1, std::memory_order_relaxed);
       }
@@ -283,10 +287,17 @@ void LocalScheduler::OnObjectLocal(const ObjectId& object) {
     tables_->objects.UnsubscribeLocations(object, token);
   }
   if (!promoted.empty()) {
+    int64_t now = NowMicros();
+    auto& tracer = trace::Tracer::Instance();
+    for (const auto& [spec, enqueued_us] : promoted) {
+      if (tracer.ShouldRecordTask(spec.id)) {
+        tracer.Emit(trace::Stage::kDepWait, enqueued_us, now - enqueued_us, spec.id, object,
+                    node_);
+      }
+    }
     {
       auto lock = AcquireTimed(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
-      int64_t now = NowMicros();
-      for (auto& spec : promoted) {
+      for (auto& [spec, enqueued_us] : promoted) {
         ready_.push_back({std::move(spec), now});
       }
     }
@@ -301,14 +312,14 @@ void LocalScheduler::TryDispatch() {
   // holds resources) and go straight to the actor mailbox. The handoff to
   // workers / mailboxes happens after dispatch_mu_ is released so a slow
   // mailbox never stalls dependency resolution or Submit.
-  std::vector<TaskSpec> to_workers;
-  std::vector<TaskSpec> to_actors;
+  std::vector<ReadyTask> to_workers;
+  std::vector<ReadyTask> to_actors;
   {
     auto lock = AcquireTimed(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
     for (auto it = ready_.begin(); it != ready_.end();) {
       const TaskSpec& spec = it->spec;
       if (spec.IsActorTask()) {
-        to_actors.push_back(std::move(it->spec));
+        to_actors.push_back(std::move(*it));
         it = ready_.erase(it);
         continue;
       }
@@ -316,7 +327,7 @@ void LocalScheduler::TryDispatch() {
       if (available_.Contains(demand)) {
         available_.Subtract(demand);
         running_.fetch_add(1, std::memory_order_relaxed);
-        to_workers.push_back(std::move(it->spec));
+        to_workers.push_back(std::move(*it));
         it = ready_.erase(it);
       } else {
         ++it;
@@ -324,11 +335,23 @@ void LocalScheduler::TryDispatch() {
     }
   }
   num_ready_.fetch_sub(to_workers.size() + to_actors.size(), std::memory_order_relaxed);
-  for (auto& spec : to_actors) {
-    actor_dispatcher_(spec);
+  // Queue-time spans are emitted outside dispatch_mu_ — the tracer is
+  // wait-free but there is no reason to hold the lock across it.
+  auto& tracer = trace::Tracer::Instance();
+  int64_t now = tracer.Enabled() ? NowMicros() : 0;
+  for (auto& ready : to_actors) {
+    if (tracer.ShouldRecordTask(ready.spec.id)) {
+      tracer.Emit(trace::Stage::kQueue, ready.ready_at_us, now - ready.ready_at_us,
+                  ready.spec.id, ObjectId(), node_);
+    }
+    actor_dispatcher_(ready.spec);
   }
-  for (auto& spec : to_workers) {
-    dispatch_queue_.Push(std::move(spec));
+  for (auto& ready : to_workers) {
+    if (tracer.ShouldRecordTask(ready.spec.id)) {
+      tracer.Emit(trace::Stage::kQueue, ready.ready_at_us, now - ready.ready_at_us,
+                  ready.spec.id, ObjectId(), node_);
+    }
+    dispatch_queue_.Push(std::move(ready.spec));
   }
 }
 
@@ -343,7 +366,10 @@ void LocalScheduler::WorkerLoop() {
     // The executor owns the terminal kDone/kLost transition — it must commit
     // kDone *before* publishing result objects so that anyone woken by a
     // result's location already observes the task as done.
-    executor_(*spec);
+    {
+      trace::Span span(trace::Stage::kExec, spec->id, ObjectId(), node_);
+      executor_(*spec);
+    }
     FinishTask(*spec, timer.ElapsedSeconds());
   }
 }
@@ -380,7 +406,10 @@ gcs::Heartbeat LocalScheduler::MakeHeartbeat() const {
   return hb;
 }
 
-void LocalScheduler::ReportHeartbeat() { tables_->nodes.ReportHeartbeat(node_, MakeHeartbeat()); }
+void LocalScheduler::ReportHeartbeat() {
+  trace::Span span(trace::Stage::kHeartbeat, TaskId(), ObjectId(), node_);
+  tables_->nodes.ReportHeartbeat(node_, MakeHeartbeat());
+}
 
 void LocalScheduler::HeartbeatLoop() {
   while (!shutdown_.load(std::memory_order_relaxed)) {
@@ -432,8 +461,12 @@ void LocalScheduler::RescueStrandedTasks() {
     }
   }
   num_ready_.fetch_sub(stranded.size(), std::memory_order_relaxed);
+  auto& tracer = trace::Tracer::Instance();
   for (const TaskSpec& spec : stranded) {
     spilled_.fetch_add(1, std::memory_order_relaxed);
+    if (tracer.ShouldRecordTask(spec.id)) {
+      tracer.Emit(trace::Stage::kStranded, NowMicros(), 0, spec.id, ObjectId(), node_);
+    }
     Status s = global_->Schedule(spec, node_);
     if (!s.ok()) {
       RAY_LOG(WARNING) << "failed to re-forward stranded task: " << s.ToString();

@@ -44,6 +44,7 @@
 #include "scheduler/global_scheduler.h"
 #include "scheduler/registry.h"
 #include "task/task_spec.h"
+#include "trace/trace.h"
 
 namespace ray {
 
@@ -107,6 +108,7 @@ class LocalScheduler {
   struct PendingTask {
     TaskSpec spec;
     std::unordered_set<ObjectId> missing;
+    int64_t enqueued_us = 0;  // dep-wait span start (trace)
   };
   struct ReadyTask {
     TaskSpec spec;

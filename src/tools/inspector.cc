@@ -1,9 +1,12 @@
 #include "tools/inspector.h"
 
+#include <algorithm>
 #include <sstream>
 
+#include "common/metrics.h"
 #include "common/serialization.h"
 #include "task/task_spec.h"
+#include "trace/trace.h"
 
 namespace ray {
 namespace tools {
@@ -31,6 +34,22 @@ ClusterReport ClusterInspector::Snapshot() const {
   report.gcs_entries = cluster_->gcs().NumEntries();
   report.network_bytes_transferred = cluster_->net().TotalBytesTransferred();
   report.network_transfers = cluster_->net().NumTransfers();
+  auto& metrics = ControlPlaneMetrics::Instance();
+  auto& cp = report.control_plane;
+  cp.gcs_batch_size_ema = metrics.gcs_batch_size.HasValue() ? metrics.gcs_batch_size.Value() : 0.0;
+  cp.gcs_batch_rounds = metrics.gcs_batch_rounds.Value();
+  cp.gcs_batched_ops = metrics.gcs_batched_ops.Value();
+  cp.publish_queue_depth = metrics.publish_queue_depth.Value();
+  cp.publish_queue_max = metrics.publish_queue_depth.Max();
+  cp.publishes_delivered = metrics.publishes_delivered.Value();
+  cp.dispatch_lock_wait_us =
+      metrics.dispatch_lock_wait_us.HasValue() ? metrics.dispatch_lock_wait_us.Value() : 0.0;
+  cp.deps_lock_wait_us =
+      metrics.deps_lock_wait_us.HasValue() ? metrics.deps_lock_wait_us.Value() : 0.0;
+  auto& tracer = trace::Tracer::Instance();
+  cp.trace_mode = trace::TraceModeName(tracer.mode());
+  cp.trace_events_recorded = tracer.EventsRecorded();
+  cp.trace_events_dropped = tracer.EventsDropped();
   return report;
 }
 
@@ -51,6 +70,13 @@ std::string ClusterInspector::Render() const {
     }
     out << "\n";
   }
+  const ControlPlaneStats& cp = report.control_plane;
+  out << "control plane: batch=" << cp.gcs_batch_size_ema << " ops/round ("
+      << cp.gcs_batch_rounds << " rounds, " << cp.gcs_batched_ops << " ops), pubq="
+      << cp.publish_queue_depth << " (max " << cp.publish_queue_max << ", delivered "
+      << cp.publishes_delivered << "), lock-wait dispatch=" << cp.dispatch_lock_wait_us
+      << "us deps=" << cp.deps_lock_wait_us << "us, trace=" << cp.trace_mode << " ("
+      << cp.trace_events_recorded << " recorded, " << cp.trace_events_dropped << " dropped)\n";
   return out.str();
 }
 
@@ -76,12 +102,28 @@ std::string ClusterInspector::RenderHtml() const {
     }
     out << "</tr>";
   }
-  out << "</table></body></html>";
+  const ControlPlaneStats& cp = report.control_plane;
+  out << "</table><h2>Control plane</h2><p>GCS batch " << cp.gcs_batch_size_ema
+      << " ops/round (" << cp.gcs_batch_rounds << " rounds / " << cp.gcs_batched_ops
+      << " ops) &middot; publish queue " << cp.publish_queue_depth << " (max "
+      << cp.publish_queue_max << ", delivered " << cp.publishes_delivered
+      << ") &middot; lock wait dispatch " << cp.dispatch_lock_wait_us << "us, deps "
+      << cp.deps_lock_wait_us << "us &middot; trace " << cp.trace_mode << " ("
+      << cp.trace_events_recorded << " recorded, " << cp.trace_events_dropped
+      << " dropped)</p></body></html>";
   return out.str();
 }
 
 void Profiler::RecordEvent(const std::string& source, const std::string& label, int64_t start_us,
                            int64_t end_us) {
+  trace::Tracer& tracer = trace::Tracer::Instance();
+  if (!tracer.config().durable_user_events) {
+    // Default path: wait-free ring-buffer write. The seed routed every event
+    // through EventLog::Append — a GCS chain round per event on the hot path,
+    // which perturbed the control-plane latencies under measurement.
+    tracer.EmitUser(source, label, start_us, end_us);
+    return;
+  }
   Writer w;
   Put(w, label);
   w.WritePod<int64_t>(start_us);
@@ -93,6 +135,31 @@ std::string Profiler::ExportChromeTrace(const std::vector<std::string>& sources)
   std::ostringstream out;
   out << "{\"traceEvents\":[";
   bool first = true;
+  auto append = [&](const std::string& label, const std::string& source, int64_t start,
+                    int64_t dur) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"name\":\"" << label << "\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":" << start
+        << ",\"dur\":" << dur << ",\"pid\":1,\"tid\":\"" << source << "\"}";
+  };
+  // Tracer-buffered user events, filtered to the requested sources.
+  trace::Tracer& tracer = trace::Tracer::Instance();
+  std::vector<trace::TraceEvent> buffered = tracer.Snapshot();
+  for (const trace::TraceEvent& ev : buffered) {
+    if (ev.stage != trace::Stage::kUser) {
+      continue;
+    }
+    std::string source = tracer.InternedString(static_cast<uint32_t>(ev.arg >> 32));
+    if (std::find(sources.begin(), sources.end(), source) == sources.end()) {
+      continue;
+    }
+    std::string label = tracer.InternedString(static_cast<uint32_t>(ev.arg & 0xffffffffu));
+    append(label, source, ev.start_us, ev.dur_us);
+  }
+  // Durable EventLog entries (written when durable_user_events is set, or by
+  // rare always-durable events like node death).
   for (const std::string& source : sources) {
     auto events = cluster_->tables().events.Get(source);
     if (!events.ok()) {
@@ -103,12 +170,7 @@ std::string Profiler::ExportChromeTrace(const std::vector<std::string>& sources)
       std::string label = Take<std::string>(r);
       int64_t start = r.ReadPod<int64_t>();
       int64_t end = r.ReadPod<int64_t>();
-      if (!first) {
-        out << ",";
-      }
-      first = false;
-      out << "{\"name\":\"" << label << "\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":" << start
-          << ",\"dur\":" << (end - start) << ",\"pid\":1,\"tid\":\"" << source << "\"}";
+      append(label, source, start, end - start);
     }
   }
   out << "]}";

@@ -31,6 +31,23 @@ struct NodeReport {
   uint64_t tasks_executed = 0;
 };
 
+// Process-wide control-plane counters (ControlPlaneMetrics) plus tracer
+// health, surfaced so the Web UI answers "where does submit-path time go"
+// without attaching a profiler.
+struct ControlPlaneStats {
+  double gcs_batch_size_ema = 0.0;
+  uint64_t gcs_batch_rounds = 0;
+  uint64_t gcs_batched_ops = 0;
+  int64_t publish_queue_depth = 0;
+  int64_t publish_queue_max = 0;
+  uint64_t publishes_delivered = 0;
+  double dispatch_lock_wait_us = 0.0;
+  double deps_lock_wait_us = 0.0;
+  std::string trace_mode;
+  uint64_t trace_events_recorded = 0;
+  uint64_t trace_events_dropped = 0;
+};
+
 struct ClusterReport {
   std::vector<NodeReport> nodes;
   size_t gcs_memory_bytes = 0;
@@ -38,6 +55,7 @@ struct ClusterReport {
   size_t gcs_entries = 0;
   uint64_t network_bytes_transferred = 0;
   uint64_t network_transfers = 0;
+  ControlPlaneStats control_plane;
 };
 
 class ClusterInspector {
@@ -69,14 +87,18 @@ class Profiler {
  public:
   explicit Profiler(Cluster* cluster) : cluster_(cluster) {}
 
-  // Records a profiling event into the GCS event log (components call this;
-  // the profiler is also its own consumer).
+  // Records a profiling event. By default this lands in the in-process
+  // tracer's ring buffers (wait-free; no GCS round — the seed pushed every
+  // event through EventLog::Append, a chain-replication round that perturbed
+  // exactly the latencies being measured). Set
+  // TraceConfig::durable_user_events to restore the durable GCS path.
   void RecordEvent(const std::string& source, const std::string& label, int64_t start_us,
                    int64_t end_us);
 
-  // Reads back all events for `source` and renders them as a Chrome
-  // tracing JSON document (chrome://tracing "traceEvents" format), the
-  // paper's timeline-visualization backend.
+  // Renders all events for `sources` as a Chrome tracing JSON document
+  // (chrome://tracing "traceEvents" format), the paper's
+  // timeline-visualization backend. Merges tracer-buffered events with any
+  // durable EventLog entries for the same sources.
   std::string ExportChromeTrace(const std::vector<std::string>& sources) const;
 
   // Summarizes the lifetime states of `tasks` from the Task Table.
