@@ -13,3 +13,7 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 ./build/src/tools/trace_dump build/trace.json
 test -s build/trace.json
 echo "trace_dump smoke: OK (build/trace.json)"
+
+# Data-plane smoke check: chunked pull pipeline + duplicate-pull dedup, tiny
+# sizes; exits nonzero if any pull fails.
+RAY_BENCH_JSON_DIR=build ./build/bench/bench_object_store --smoke

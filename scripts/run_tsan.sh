@@ -6,16 +6,17 @@
 #   pubsub_test          - subscribe/unsubscribe/publish churn, ordering
 #   scheduler_test       - submit -> dispatch handoff, rescue, work stealing
 #   net_objectstore_test - shared-mutex object store, sim network
+#   pull_manager_test    - async pull dedup, chunk pipeline, mid-pull failover
 #   trace_test           - lock-free trace rings, pause handshake vs snapshot
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j"$(nproc)" \
-  --target gcs_test pubsub_test scheduler_test net_objectstore_test trace_test
+  --target gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
-for t in gcs_test pubsub_test scheduler_test net_objectstore_test trace_test; do
+for t in gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test; do
   echo "== TSan: $t =="
   ./build-tsan/tests/"$t"
 done

@@ -16,13 +16,14 @@ class BlockingQueue {
  public:
   // Pushing to a closed queue drops the item and returns false.
   bool Push(T item) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (closed_) {
-        return false;
-      }
-      items_.push_back(std::move(item));
+    // Notify while holding the lock: event-loop owners may close, drain, and
+    // destroy this queue the moment the item is observable, so the cv must
+    // not be touched after the lock is released.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return false;
     }
+    items_.push_back(std::move(item));
     cv_.notify_one();
     return true;
   }
@@ -65,10 +66,8 @@ class BlockingQueue {
   // Wakes all blocked poppers; subsequent Pops drain remaining items then
   // return nullopt.
   void Close() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      closed_ = true;
-    }
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
     cv_.notify_all();
   }
 

@@ -190,6 +190,10 @@ void Gcs::Unsubscribe(const std::string& key, uint64_t token) {
 
 void Gcs::DrainPublishes() { pubsub_->Drain(); }
 
+size_t Gcs::NumSubscriptions() const { return pubsub_->NumSubscriptions(); }
+
+uint64_t Gcs::TotalSubscribes() const { return pubsub_->TotalSubscribes(); }
+
 size_t Gcs::MemoryBytes() const {
   size_t total = 0;
   for (const auto& shard : shards_) {

@@ -83,6 +83,10 @@ class Gcs {
   // Blocks until every publish queued before this call has been delivered.
   void DrainPublishes();
 
+  size_t NumSubscriptions() const;
+  // Monotonic Subscribe-call count (see PubSub::TotalSubscribes).
+  uint64_t TotalSubscribes() const;
+
   // Footprint across shards (tail replica view).
   size_t MemoryBytes() const;
   size_t DiskBytes() const;

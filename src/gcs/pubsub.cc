@@ -44,6 +44,7 @@ uint64_t PubSub::Subscribe(const std::string& key, Callback callback) {
     bucket.subs[key].push_back(std::move(sub));
   }
   num_subscriptions_.fetch_add(1, std::memory_order_relaxed);
+  total_subscribes_.fetch_add(1, std::memory_order_relaxed);
   return token;
 }
 
@@ -167,6 +168,10 @@ size_t PubSub::QueueDepth() const {
 }
 
 size_t PubSub::NumSubscriptions() const { return num_subscriptions_.load(std::memory_order_relaxed); }
+
+uint64_t PubSub::TotalSubscribes() const {
+  return total_subscribes_.load(std::memory_order_relaxed);
+}
 
 }  // namespace gcs
 }  // namespace ray

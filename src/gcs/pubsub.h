@@ -58,6 +58,9 @@ class PubSub {
 
   size_t QueueDepth() const;
   size_t NumSubscriptions() const;
+  // Monotonic count of Subscribe calls ever made; lets tests assert that a
+  // retry loop reuses one subscription instead of churning them.
+  uint64_t TotalSubscribes() const;
 
  private:
   struct Subscription {
@@ -100,6 +103,7 @@ class PubSub {
   std::atomic<uint64_t> next_token_{1};
   std::atomic<bool> shutdown_{false};
   std::atomic<size_t> num_subscriptions_{0};
+  std::atomic<uint64_t> total_subscribes_{0};
 };
 
 }  // namespace gcs

@@ -3,9 +3,31 @@
 #include <algorithm>
 
 #include "common/clock.h"
+#include "common/sync.h"
 #include "trace/trace.h"
 
 namespace ray {
+
+SimNetwork::SimNetwork(const NetConfig& config) : config_(config) {
+  if (config_.charge_real_time) {
+    completion_thread_ = std::thread([this] { CompletionLoop(); });
+  }
+}
+
+SimNetwork::~SimNetwork() {
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    stop_ = true;
+    // Pending callbacks are dropped: owners (PullManager, blocking shims)
+    // are destroyed before the network, so nobody is left to hear them.
+    due_.clear();
+    pending_.clear();
+  }
+  async_cv_.notify_all();
+  if (completion_thread_.joinable()) {
+    completion_thread_.join();
+  }
+}
 
 int64_t SimNetwork::EstimateTransferMicros(uint64_t bytes, int streams) const {
   double bw = std::min(config_.link_bandwidth_bytes_s,
@@ -21,6 +43,172 @@ int64_t SimNetwork::ReserveNic(const NodeId& node, int64_t now_us, int64_t durat
   return free_at;
 }
 
+void SimNetwork::ReleaseNic(const NodeId& node, int64_t start_us, int64_t end_us, int64_t now_us) {
+  if (end_us <= start_us) {
+    return;  // small transfer: no reservation was taken
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nic_free_at_us_.find(node);
+  // Only roll back if ours is still the last reservation on this NIC; later
+  // reservations queued behind a cancelled one keep their (pessimistic)
+  // start times — an accepted approximation.
+  if (it != nic_free_at_us_.end() && it->second == end_us) {
+    it->second = std::max(now_us, start_us);
+  }
+}
+
+uint64_t SimNetwork::TransferAsync(const NodeId& from, const NodeId& to, uint64_t bytes,
+                                   int streams, const ObjectId& object, TransferCallback cb) {
+  uint64_t token;
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    token = next_token_++;
+  }
+  if (from == to) {
+    cb(Status::Ok());  // intra-node: shared memory, no wire
+    return token;
+  }
+  if (IsDead(from) || IsDead(to)) {
+    cb(Status::NodeDead("transfer endpoint dead"));
+    return token;
+  }
+  num_transfers_.fetch_add(1, std::memory_order_relaxed);
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+
+  int64_t wire_us = EstimateTransferMicros(bytes, streams) - config_.latency_us;
+  int64_t now = NowMicros();
+  Pending p;
+  p.from = from;
+  p.to = to;
+  p.object = object;
+  p.bytes = bytes;
+  p.scheduled_us = now;
+  p.cb = std::move(cb);
+  if (bytes <= kSmallTransferBytes) {
+    // Control-sized messages interleave with bulk streams packet-by-packet;
+    // they do not queue behind megabytes of in-flight data, so they skip the
+    // NIC reservation and pay only propagation + their own serialization.
+    p.done_us = now + wire_us + config_.latency_us;
+  } else {
+    // Serialization occupies both NICs; completion is the later of the two.
+    p.nic_from_end_us = ReserveNic(from, now, wire_us);
+    p.nic_from_start_us = p.nic_from_end_us - wire_us;
+    p.nic_to_end_us = ReserveNic(to, now, wire_us);
+    p.nic_to_start_us = p.nic_to_end_us - wire_us;
+    p.done_us = std::max(p.nic_from_end_us, p.nic_to_end_us) + config_.latency_us;
+  }
+  if (!config_.charge_real_time) {
+    // Accounting-only mode: charge virtual time, complete immediately.
+    Complete(std::move(p));
+    return token;
+  }
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    if (stop_) {
+      return token;  // shutting down; drop
+    }
+    due_.emplace(p.done_us, token);
+    pending_.emplace(token, std::move(p));
+  }
+  async_cv_.notify_all();
+  return token;
+}
+
+void SimNetwork::Complete(Pending&& p) {
+  // A transfer can be interrupted by either endpoint dying mid-flight; the
+  // receiver loses the bytes, the sender stops serving them.
+  Status status = Status::Ok();
+  if (IsDead(p.to)) {
+    status = Status::NodeDead("receiver died during transfer");
+  } else if (IsDead(p.from)) {
+    status = Status::NodeDead("sender died during transfer");
+  }
+  // Per-chunk wire span, keyed by the object being pulled (the blocking shim
+  // passes a nil object and wraps its own kTransfer span instead).
+  if (!p.object.IsNil()) {
+    auto& tracer = trace::Tracer::Instance();
+    if (tracer.ShouldRecordInfra()) {
+      tracer.Emit(trace::Stage::kChunkTransfer, p.scheduled_us, p.done_us - p.scheduled_us,
+                  TaskId(), p.object, p.to, p.from, p.bytes);
+    }
+  }
+  p.cb(status);
+}
+
+void SimNetwork::CompletionLoop() {
+  std::unique_lock<std::mutex> lock(async_mu_);
+  while (true) {
+    if (stop_) {
+      return;
+    }
+    if (due_.empty()) {
+      async_cv_.wait(lock);
+      continue;
+    }
+    int64_t due = due_.begin()->first;
+    int64_t now = NowMicros();
+    if (now < due) {
+      if (due - now > 300) {
+        // Coarse sleep, waking early; the tail is busy-spun for precision
+        // (mirrors PreciseDelayMicros). A newly scheduled transfer notifies
+        // the cv and re-enters this check.
+        async_cv_.wait_for(lock, std::chrono::microseconds(due - now - 200));
+      } else {
+        lock.unlock();
+        while (NowMicros() < due) {
+        }
+        lock.lock();
+      }
+      continue;
+    }
+    uint64_t token = due_.begin()->second;
+    due_.erase(due_.begin());
+    auto it = pending_.find(token);
+    if (it == pending_.end()) {
+      continue;  // cancelled between due and dispatch
+    }
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    running_token_ = token;
+    lock.unlock();
+    Complete(std::move(p));
+    lock.lock();
+    running_token_ = 0;
+    async_cv_.notify_all();  // unblock CancelTransfer barriers
+  }
+}
+
+bool SimNetwork::CancelTransfer(uint64_t token) {
+  if (token == 0) {
+    return false;
+  }
+  Pending p;
+  {
+    std::unique_lock<std::mutex> lock(async_mu_);
+    auto it = pending_.find(token);
+    if (it == pending_.end()) {
+      // Already completed (or never queued). If its callback is mid-flight on
+      // the completion thread, wait it out so the caller can tear down state.
+      async_cv_.wait(lock, [&] { return running_token_ != token; });
+      return false;
+    }
+    p = std::move(it->second);
+    pending_.erase(it);
+    auto range = due_.equal_range(p.done_us);
+    for (auto d = range.first; d != range.second; ++d) {
+      if (d->second == token) {
+        due_.erase(d);
+        break;
+      }
+    }
+  }
+  cancelled_transfers_.fetch_add(1, std::memory_order_relaxed);
+  int64_t now = NowMicros();
+  ReleaseNic(p.from, p.nic_from_start_us, p.nic_from_end_us, now);
+  ReleaseNic(p.to, p.nic_to_start_us, p.nic_to_end_us, now);
+  return true;
+}
+
 Status SimNetwork::Transfer(const NodeId& from, const NodeId& to, uint64_t bytes, int streams) {
   if (from == to) {
     return Status::Ok();  // intra-node: shared memory, no wire
@@ -28,32 +216,15 @@ Status SimNetwork::Transfer(const NodeId& from, const NodeId& to, uint64_t bytes
   if (IsDead(from) || IsDead(to)) {
     return Status::NodeDead("transfer endpoint dead");
   }
-  num_transfers_.fetch_add(1, std::memory_order_relaxed);
-  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   trace::Span span(trace::Stage::kTransfer, TaskId(), ObjectId(), to, from, bytes);
-
-  int64_t wire_us = EstimateTransferMicros(bytes, streams) - config_.latency_us;
-  int64_t done;
-  if (bytes <= kSmallTransferBytes) {
-    // Control-sized messages interleave with bulk streams packet-by-packet;
-    // they do not queue behind megabytes of in-flight data, so they skip the
-    // NIC reservation and pay only propagation + their own serialization.
-    done = NowMicros() + wire_us + config_.latency_us;
-  } else {
-    int64_t now = NowMicros();
-    // Serialization occupies both NICs; reserve the later of the two.
-    int64_t done_tx = ReserveNic(from, now, wire_us);
-    int64_t done_rx = ReserveNic(to, now, wire_us);
-    done = std::max(done_tx, done_rx) + config_.latency_us;
-  }
-  if (config_.charge_real_time) {
-    PreciseDelayMicros(done - NowMicros());
-  }
-  // A transfer can be interrupted by the receiver dying mid-flight.
-  if (IsDead(to)) {
-    return Status::NodeDead("receiver died during transfer");
-  }
-  return Status::Ok();
+  Notification done;
+  Status result;
+  TransferAsync(from, to, bytes, streams, ObjectId(), [&](Status s) {
+    result = std::move(s);
+    done.Notify();
+  });
+  done.Wait();
+  return result;
 }
 
 Status SimNetwork::ControlRpc(const NodeId& from, const NodeId& to) {

@@ -11,13 +11,27 @@
 //      each other via a virtual-time reservation, so aggregate bandwidth is
 //      conserved under contention.
 // The extra_scheduler_latency knob reproduces the Fig. 12b ablation.
+//
+// Data-plane refactor: transfers are scheduled asynchronously. TransferAsync
+// reserves NIC time immediately and fires a completion callback from an
+// internal timer thread once the simulated wire time has elapsed; the
+// blocking Transfer is a shim that waits on that callback. Pending transfers
+// can be cancelled (the un-elapsed NIC reservation is released), which is how
+// the PullManager abandons a chunk when every waiter gives up. Endpoint death
+// is checked both at schedule time and at completion time, so a source node
+// dying mid-transfer surfaces as kNodeDead to the callback — the signal the
+// PullManager's mid-transfer failover keys on.
 #ifndef RAY_NET_SIM_NETWORK_H_
 #define RAY_NET_SIM_NETWORK_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -41,12 +55,36 @@ class SimNetwork {
   // Transfers at or below this size bypass NIC queueing (control traffic).
   static constexpr uint64_t kSmallTransferBytes = 64 * 1024;
 
-  explicit SimNetwork(const NetConfig& config) : config_(config) {}
+  // Completion callback for asynchronous transfers. Runs on the network's
+  // completion thread (or inline when charge_real_time is false), so it must
+  // be cheap and must not block — enqueue work elsewhere.
+  using TransferCallback = std::function<void(Status)>;
+
+  explicit SimNetwork(const NetConfig& config);
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
 
   // Blocks the caller for the duration of a data transfer of `bytes` from
   // `from` to `to`, striped over `streams` connections. Local transfers are
-  // free. Fails if either endpoint is dead.
+  // free. Fails if either endpoint is dead. Shim over TransferAsync.
   Status Transfer(const NodeId& from, const NodeId& to, uint64_t bytes, int streams);
+
+  // Schedules a transfer and returns immediately with a cancellation token
+  // (never 0). `cb` fires with Ok once the simulated wire time has passed, or
+  // with kNodeDead if an endpoint is dead at schedule or completion time —
+  // completion-time death models a node dying mid-transfer. `object` is only
+  // used to key the per-chunk trace span (may be nil).
+  uint64_t TransferAsync(const NodeId& from, const NodeId& to, uint64_t bytes, int streams,
+                         const ObjectId& object, TransferCallback cb);
+
+  // Cancels a pending transfer: the callback is dropped (never invoked) and
+  // the un-elapsed portion of the NIC reservations is released. Returns true
+  // if the transfer was still pending; false if it already completed (in
+  // which case this call blocks until the in-flight callback returns, so the
+  // caller can safely tear down callback state afterwards).
+  bool CancelTransfer(uint64_t token);
 
   // Blocks for a control-plane round trip (task forward, GCS notification...).
   Status ControlRpc(const NodeId& from, const NodeId& to);
@@ -71,19 +109,56 @@ class SimNetwork {
 
   uint64_t TotalBytesTransferred() const { return total_bytes_.load(std::memory_order_relaxed); }
   uint64_t NumTransfers() const { return num_transfers_.load(std::memory_order_relaxed); }
+  uint64_t NumCancelledTransfers() const {
+    return cancelled_transfers_.load(std::memory_order_relaxed);
+  }
 
  private:
+  struct Pending {
+    NodeId from;
+    NodeId to;
+    ObjectId object;
+    uint64_t bytes = 0;
+    int64_t scheduled_us = 0;  // trace span start
+    int64_t done_us = 0;       // callback due time
+    // Reservation segments [start, end) on each endpoint's NIC, empty (end ==
+    // start) for small transfers that bypass the queue.
+    int64_t nic_from_start_us = 0, nic_from_end_us = 0;
+    int64_t nic_to_start_us = 0, nic_to_end_us = 0;
+    TransferCallback cb;
+  };
+
   // Reserves `duration_us` of NIC time on `node` starting no earlier than
   // `now_us`; returns the finish time of the reservation.
   int64_t ReserveNic(const NodeId& node, int64_t now_us, int64_t duration_us);
+  // Rolls back the un-elapsed part of a reservation if it is still the last
+  // one on the NIC (best-effort; later reservations stay queued behind).
+  void ReleaseNic(const NodeId& node, int64_t start_us, int64_t end_us, int64_t now_us);
+  void CompletionLoop();
+  // Death-checks the endpoints, emits the per-chunk span, and runs the
+  // callback; called by the completion thread (and inline when
+  // charge_real_time is false).
+  void Complete(Pending&& pending);
 
   NetConfig config_;
   std::atomic<int64_t> extra_scheduler_latency_us_{0};
   std::atomic<uint64_t> total_bytes_{0};
   std::atomic<uint64_t> num_transfers_{0};
+  std::atomic<uint64_t> cancelled_transfers_{0};
 
   mutable std::mutex mu_;
   std::unordered_map<NodeId, int64_t> nic_free_at_us_;
+
+  // --- async completion machinery ---
+  std::mutex async_mu_;
+  std::condition_variable async_cv_;
+  // due time -> token; multimap because completions can tie.
+  std::multimap<int64_t, uint64_t> due_;
+  std::unordered_map<uint64_t, Pending> pending_;
+  uint64_t next_token_ = 1;
+  uint64_t running_token_ = 0;  // token whose callback is currently executing
+  bool stop_ = false;
+  std::thread completion_thread_;
 
   // Liveness is read on every RPC/transfer/fetch but written only when a node
   // dies or revives, so it gets its own reader-writer lock instead of riding

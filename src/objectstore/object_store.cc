@@ -6,9 +6,56 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/sync.h"
+#include "objectstore/pull_manager.h"
 #include "trace/trace.h"
 
 namespace ray {
+
+namespace {
+
+// Counting wake-up channel for Get: every location-added pub-sub event
+// increments the count, so a signal arriving while the waiter is busy
+// attempting a pull is never lost.
+struct LocationSignal {
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t count = 0;
+
+  void Signal() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++count;
+    }
+    cv.notify_all();
+  }
+
+  uint64_t Snapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return count;
+  }
+
+  // Waits until the count moves past `seen`; deadline_us < 0 waits forever.
+  // Returns false on timeout.
+  bool WaitPast(uint64_t seen, int64_t deadline_us) {
+    std::unique_lock<std::mutex> lock(mu);
+    if (deadline_us < 0) {
+      cv.wait(lock, [&] { return count > seen; });
+      return true;
+    }
+    for (;;) {
+      if (count > seen) {
+        return true;
+      }
+      int64_t remaining = deadline_us - NowMicros();
+      if (remaining <= 0) {
+        return false;
+      }
+      cv.wait_for(lock, std::chrono::microseconds(remaining));
+    }
+  }
+};
+
+}  // namespace
 
 void ParallelCopy(uint8_t* dst, const uint8_t* src, size_t size, int threads, ThreadPool& pool) {
   threads = std::max(1, threads);
@@ -37,9 +84,20 @@ ObjectStore::ObjectStore(const NodeId& node, gcs::GcsTables* tables, SimNetwork*
       tables_(tables),
       net_(net),
       config_(config),
-      copy_pool_(static_cast<size_t>(std::max(1, config.num_transfer_threads))) {}
+      copy_pool_(static_cast<size_t>(std::max(1, config.num_transfer_threads))) {
+  PullManagerConfig pull_config;
+  pull_config.chunk_bytes = config_.pull_chunk_bytes;
+  pull_config.num_transfer_streams = std::max(1, config_.num_transfer_threads);
+  pull_config.parallel_copy_threshold = config_.parallel_copy_threshold;
+  pull_manager_ =
+      std::make_unique<PullManager>(node_, tables_, net_, this, &copy_pool_, pull_config);
+}
 
-ObjectStore::~ObjectStore() { copy_pool_.Shutdown(); }
+ObjectStore::~ObjectStore() {
+  // The pull loop submits copies to copy_pool_; stop it first.
+  pull_manager_->Shutdown();
+  copy_pool_.Shutdown();
+}
 
 void ObjectStore::TouchLocked(const ObjectId& id, Slot& slot) {
   lru_.erase(slot.lru_it);
@@ -79,16 +137,21 @@ Status ObjectStore::Put(const ObjectId& id, BufferPtr buffer) {
       // re-execution after failures produces identical values).
       return Status::Ok();
     }
-    if (used_bytes_ + size > config_.capacity_bytes) {
-      EvictLocked(config_.capacity_bytes > size ? config_.capacity_bytes - size : 0);
+    if (size > config_.capacity_bytes) {
+      // Larger than the whole memory tier: admit straight to disk instead of
+      // evicting everything and still blowing the budget.
+      objects_.emplace(id, Slot{std::move(buffer), true, lru_.end()});
+    } else {
+      if (used_bytes_ + size > config_.capacity_bytes) {
+        EvictLocked(config_.capacity_bytes - size);
+      }
+      lru_.push_front(id);
+      objects_.emplace(id, Slot{std::move(buffer), false, lru_.begin()});
+      used_bytes_ += size;
     }
-    lru_.push_front(id);
-    objects_.emplace(id, Slot{std::move(buffer), false, lru_.begin()});
-    used_bytes_ += size;
     bytes_written_.Add(size);
     objects_written_.Add(1);
   }
-  arrival_cv_.notify_all();
   // Publish the new copy (Fig. 7b step 4). Size recorded for the scheduler's
   // transfer-time estimates.
   return tables_->objects.AddLocation(id, node_, size);
@@ -111,7 +174,8 @@ Result<BufferPtr> ObjectStore::GetLocal(const ObjectId& id) {
     if (it == objects_.end()) {
       return Status::KeyNotFound("object evicted during disk read");
     }
-    if (it->second.on_disk) {
+    if (it->second.on_disk && size <= config_.capacity_bytes) {
+      // Objects larger than the memory tier stay on disk (see Put).
       it->second.on_disk = false;
       used_bytes_ += size;
       lru_.push_front(id);
@@ -129,24 +193,11 @@ bool ObjectStore::ContainsLocal(const ObjectId& id) const {
   return objects_.count(id) > 0;
 }
 
-Status ObjectStore::PullFrom(const ObjectId& id, ObjectStore& src) {
-  BufferPtr remote;
-  {
-    auto r = src.GetLocal(id);
-    if (!r.ok()) {
-      return r.status();
-    }
-    remote = *r;
-  }
-  size_t size = remote->Size();
-  trace::Span span(trace::Stage::kFetch, TaskId(), id, node_, src.node(), size);
-  int streams = size >= config_.parallel_copy_threshold ? config_.num_transfer_threads : 1;
-  RAY_RETURN_NOT_OK(net_->Transfer(src.node(), node_, size, streams));
-  // Physically copy the bytes (replication, not aliasing, across nodes).
-  auto local = std::make_shared<Buffer>(size);
-  ParallelCopy(local->MutableData(), remote->Data(), size, streams, copy_pool_);
-  return Put(id, std::move(local));
+uint64_t ObjectStore::PullAsync(const ObjectId& id, PullCallback cb) {
+  return pull_manager_->Pull(id, std::move(cb));
 }
+
+void ObjectStore::CancelPull(uint64_t token) { pull_manager_->CancelWaiter(token); }
 
 Status ObjectStore::Fetch(const ObjectId& id, const NodeId& src_node) {
   if (ContainsLocal(id)) {
@@ -155,72 +206,84 @@ Status ObjectStore::Fetch(const ObjectId& id, const NodeId& src_node) {
   if (src_node == node_) {
     return Status::KeyNotFound("fetch source is self but object absent");
   }
-  ObjectStore* src = peer_resolver_ ? peer_resolver_(src_node) : nullptr;
+  ObjectStore* src = Peer(src_node);
   if (src == nullptr || net_->IsDead(src_node)) {
     return Status::NodeDead("fetch source dead");
   }
-  return PullFrom(id, *src);
+  Notification done;
+  Status result;
+  pull_manager_->Pull(
+      id,
+      [&](Status s) {
+        result = std::move(s);
+        done.Notify();
+      },
+      &src_node);
+  done.Wait();
+  return result;
 }
 
 Result<BufferPtr> ObjectStore::Get(const ObjectId& id, int64_t timeout_us) {
   trace::Span span(trace::Stage::kGet, TaskId(), id, node_);
   int64_t deadline = timeout_us < 0 ? -1 : NowMicros() + timeout_us;
+  if (auto local = GetLocal(id); local.ok()) {
+    return local;
+  }
+  // One subscription per Get, registered before the first location lookup so
+  // a location added at any point from here on signals the waiter (Fig. 7b
+  // step 2) — no lost wakeups, no per-retry subscribe churn.
+  auto signal = std::make_shared<LocationSignal>();
+  uint64_t sub_token = tables_->objects.SubscribeLocations(
+      id, [signal](const ObjectId&, const NodeId&) { signal->Signal(); });
+  auto finish = [&](Result<BufferPtr> r) {
+    tables_->objects.UnsubscribeLocations(id, sub_token);
+    return r;
+  };
   for (;;) {
-    if (deadline >= 0 && NowMicros() >= deadline) {
-      return Status::TimedOut("object did not become available");
-    }
+    // Local check before the deadline check: an object that arrived while we
+    // slept past the deadline is still a hit, not a timeout.
     if (auto local = GetLocal(id); local.ok()) {
-      return local;
+      return finish(local);
     }
-    // Look up replica locations in the GCS (Fig. 7a step 6).
-    auto entry = tables_->objects.GetLocations(id);
-    bool fetched = false;
-    if (entry.ok()) {
-      for (const NodeId& src : entry->locations) {
-        if (src == node_ || net_->IsDead(src)) {
-          continue;
-        }
-        if (Fetch(id, src).ok()) {
-          fetched = true;
-          break;
-        }
+    if (deadline >= 0 && NowMicros() >= deadline) {
+      return finish(Status::TimedOut("object did not become available"));
+    }
+    // Snapshot before the pull attempt: a location published mid-attempt
+    // bumps the count and the wait below returns immediately.
+    uint64_t seen = signal->Snapshot();
+    Notification done;
+    Status pull_status;
+    uint64_t pull_token = pull_manager_->Pull(id, [&](Status s) {
+      pull_status = std::move(s);
+      done.Notify();
+    });
+    bool completed;
+    if (deadline < 0) {
+      done.Wait();
+      completed = true;
+    } else {
+      int64_t remaining = deadline - NowMicros();
+      completed = remaining > 0 &&
+                  done.WaitFor(std::chrono::milliseconds(std::max<int64_t>(1, remaining / 1000)));
+    }
+    if (!completed) {
+      // Abandon our interest; the pull itself dies if we were the last
+      // waiter. The cancel barrier makes the stack captures safe to drop.
+      pull_manager_->CancelWaiter(pull_token);
+      if (!done.HasBeenNotified() || !pull_status.ok()) {
+        return finish(Status::TimedOut("object did not become available"));
       }
+      continue;  // pull finished as we timed out: take the object
     }
-    if (fetched) {
-      continue;  // now local
+    if (pull_status.ok()) {
+      continue;  // now local (or concurrently evicted to disk: GetLocal promotes)
     }
-    // Not created yet (or all copies unreachable): block on the pub-sub
-    // callback that fires when a location is added (Fig. 7b step 2).
-    Notification arrival;
-    uint64_t token = tables_->objects.SubscribeLocations(
-        id, [&arrival](const ObjectId&, const NodeId&) { arrival.Notify(); });
-    // Re-check: a *live* location may have been added between the lookup and
-    // the subscribe. Dead replicas do not count — treating them as available
-    // would spin here forever instead of waiting for reconstruction.
-    entry = tables_->objects.GetLocations(id);
-    bool available_now = false;
-    if (entry.ok()) {
-      for (const NodeId& src : entry->locations) {
-        if (src != node_ && !net_->IsDead(src)) {
-          available_now = true;  // a live remote replica: retry the fetch
-          break;
-        }
-      }
-    }
-    bool notified = available_now;
-    if (!notified) {
-      if (deadline < 0) {
-        arrival.Wait();
-        notified = true;
-      } else {
-        int64_t remaining = deadline - NowMicros();
-        notified = remaining > 0 &&
-                   arrival.WaitFor(std::chrono::milliseconds(std::max<int64_t>(1, remaining / 1000)));
-      }
-    }
-    tables_->objects.UnsubscribeLocations(id, token);
-    if (!notified) {
-      return Status::TimedOut("object did not become available");
+    // Not created yet, or every replica is on a dead node: block on the
+    // pub-sub signal until a (re)created copy is published. Dead replicas do
+    // not count — treating them as available would spin here instead of
+    // waiting for reconstruction.
+    if (!signal->WaitPast(seen, deadline)) {
+      return finish(Status::TimedOut("object did not become available"));
     }
   }
 }
@@ -242,6 +305,7 @@ Status ObjectStore::DeleteLocal(const ObjectId& id) {
 }
 
 void ObjectStore::CrashClear() {
+  pull_manager_->AbortAll(Status::NodeDead("node crashed"));
   std::lock_guard<std::shared_mutex> lock(mu_);
   objects_.clear();
   lru_.clear();

@@ -1,12 +1,14 @@
 // Per-node in-memory object store (Section 4.2.3). Objects are immutable
 // byte buffers; intra-node reads are zero-copy (shared_ptr aliasing plays the
-// role of shared memory). If a requested object is remote, the store looks up
-// its locations in the GCS Object Table, pulls a replica over the simulated
-// network (striping large objects across several transfer threads, Section
-// 4.2.4), and registers the new copy back in the Object Table. If the object
-// does not exist yet, the store registers a GCS pub-sub callback and blocks
-// until a location is published (Fig. 7b). Memory pressure is handled by LRU
-// eviction to a simulated disk tier.
+// role of shared memory). Remote objects are fetched through the PullManager
+// (pull_manager.h): concurrent requests for one object dedup into a single
+// in-flight pull, large objects move as pipelined chunks, and a source dying
+// mid-transfer fails over to a surviving replica. If the object does not
+// exist yet, Get registers one GCS pub-sub callback and blocks until a
+// location is published (Fig. 7b). Memory pressure is handled by LRU
+// eviction to a simulated disk tier; objects larger than the whole capacity
+// are admitted straight to the disk tier instead of flushing everything
+// else out.
 #ifndef RAY_OBJECTSTORE_OBJECT_STORE_H_
 #define RAY_OBJECTSTORE_OBJECT_STORE_H_
 
@@ -28,6 +30,8 @@
 
 namespace ray {
 
+class PullManager;
+
 struct ObjectStoreConfig {
   size_t capacity_bytes = 4ULL << 30;
   int num_transfer_threads = 8;
@@ -35,6 +39,9 @@ struct ObjectStoreConfig {
   size_t parallel_copy_threshold = 512 * 1024;
   // Penalty bandwidth for reading an object back from the disk tier.
   double disk_read_bytes_per_sec = 500e6;
+  // Chunk size for the pipelined pull path; 0 = monolithic single-chunk
+  // pulls (the pre-refactor behavior, kept for the bench ablation).
+  size_t pull_chunk_bytes = 8ull << 20;
 };
 
 class ObjectStore {
@@ -42,6 +49,8 @@ class ObjectStore {
   // `peer_resolver` maps a node id to its store so a pull can read the remote
   // buffer; the cluster wires this up. May return nullptr for dead nodes.
   using PeerResolver = std::function<ObjectStore*(const NodeId&)>;
+  // Pull completion callback; runs on the pull-loop thread — keep it cheap.
+  using PullCallback = std::function<void(Status)>;
 
   ObjectStore(const NodeId& node, gcs::GcsTables* tables, SimNetwork* net,
               const ObjectStoreConfig& config);
@@ -51,6 +60,9 @@ class ObjectStore {
   ObjectStore& operator=(const ObjectStore&) = delete;
 
   void SetPeerResolver(PeerResolver resolver) { peer_resolver_ = std::move(resolver); }
+  ObjectStore* Peer(const NodeId& id) const {
+    return peer_resolver_ ? peer_resolver_(id) : nullptr;
+  }
 
   // Seals `buffer` under `id` locally and publishes the location to the GCS.
   Status Put(const ObjectId& id, BufferPtr buffer);
@@ -61,28 +73,38 @@ class ObjectStore {
 
   bool ContainsLocal(const ObjectId& id) const;
 
-  // Full get: local hit, else pull from a live remote replica, else block on
-  // the Object Table callback until the object is created somewhere, then
-  // pull. timeout_us < 0 means wait forever. Returns kTimedOut on timeout;
-  // never returns kObjectLost by itself — loss detection (all replicas on
-  // dead nodes) is the runtime's job since it owns reconstruction.
+  // Full get: local hit, else pull from a live remote replica (deduped with
+  // any concurrent pull of the same object), else block on the Object Table
+  // callback until the object is created somewhere, then pull. One pub-sub
+  // subscription per call, reused across retries. timeout_us < 0 means wait
+  // forever. Returns kTimedOut on timeout; never returns kObjectLost by
+  // itself — loss detection (all replicas on dead nodes) is the runtime's
+  // job since it owns reconstruction.
   Result<BufferPtr> Get(const ObjectId& id, int64_t timeout_us = -1);
 
-  // Pulls `id` from `src_node` right now; used by the scheduler's dispatch
-  // path once locations are known.
+  // Blocking pull of `id`, preferring `src_node` as the source; used by
+  // paths that already know a location. Fails over like any other pull.
   Status Fetch(const ObjectId& id, const NodeId& src_node);
+
+  // Registers a completion callback for an asynchronous pull of `id`
+  // (dedups into an in-flight pull). Returns a token for CancelPull.
+  uint64_t PullAsync(const ObjectId& id, PullCallback cb);
+  // Removes a pull waiter; blocks until its callback is not running, so the
+  // caller may tear down captured state afterwards.
+  void CancelPull(uint64_t token);
 
   // Drops the local copy (memory and disk tier) and retracts the location.
   Status DeleteLocal(const ObjectId& id);
 
   // Drops everything without touching the GCS — models node death, where the
   // store's contents vanish but stale Object Table entries linger until the
-  // runtime marks the node dead.
+  // runtime marks the node dead. In-flight pulls abort with kNodeDead.
   void CrashClear();
 
   size_t UsedBytes() const;
   size_t NumObjects() const;
   const NodeId& node() const { return node_; }
+  PullManager& pull_manager() { return *pull_manager_; }
 
   // Stats for benches.
   Counter& bytes_written() { return bytes_written_; }
@@ -99,7 +121,6 @@ class ObjectStore {
   // at most `target`.
   void EvictLocked(size_t target);
   void TouchLocked(const ObjectId& id, Slot& slot);
-  Status PullFrom(const ObjectId& id, ObjectStore& src);
 
   NodeId node_;
   gcs::GcsTables* tables_;
@@ -111,12 +132,12 @@ class ObjectStore {
   // (every dependency of every Enqueue) and takes it shared; mutations and
   // LRU touches take it exclusive.
   mutable std::shared_mutex mu_;
-  std::condition_variable arrival_cv_;
   std::unordered_map<ObjectId, Slot> objects_;
   std::list<ObjectId> lru_;  // front = most recent
   size_t used_bytes_ = 0;
 
   ThreadPool copy_pool_;
+  std::unique_ptr<PullManager> pull_manager_;
 
   Counter bytes_written_;
   Counter objects_written_;

@@ -1,0 +1,343 @@
+#include "objectstore/pull_manager.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "objectstore/object_store.h"
+#include "trace/trace.h"
+
+namespace ray {
+
+PullManager::PullManager(const NodeId& node, gcs::GcsTables* tables, SimNetwork* net,
+                         ObjectStore* store, ThreadPool* copy_pool,
+                         const PullManagerConfig& config)
+    : node_(node),
+      tables_(tables),
+      net_(net),
+      store_(store),
+      copy_pool_(copy_pool),
+      config_(config) {
+  loop_thread_ = std::thread([this] { Loop(); });
+}
+
+PullManager::~PullManager() { Shutdown(); }
+
+uint64_t PullManager::Pull(const ObjectId& id, Callback cb, const NodeId* preferred) {
+  uint64_t token;
+  bool fresh = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    token = next_token_++;
+    if (shutdown_.load(std::memory_order_relaxed)) {
+      lock.unlock();
+      cb(Status::Unavailable("pull manager shut down"));
+      return token;
+    }
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      auto e = std::make_shared<Entry>();
+      e->id = id;
+      if (preferred != nullptr) {
+        e->preferred = *preferred;
+      }
+      e->started_us = NowMicros();
+      e->waiters.push_back({token, std::move(cb)});
+      entries_.emplace(id, std::move(e));
+      fresh = true;
+    } else {
+      it->second->waiters.push_back({token, std::move(cb)});
+      pulls_deduped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    waiter_index_.emplace(token, id);
+  }
+  if (fresh) {
+    queue_.Push(Event{id, 0, Status::Ok(), /*start=*/true});
+  }
+  return token;
+}
+
+void PullManager::CancelWaiter(uint64_t token) {
+  EntryPtr to_abort;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto iit = waiter_index_.find(token);
+    if (iit == waiter_index_.end()) {
+      // Already dispatched (or being dispatched right now): barrier so the
+      // caller can destroy whatever the callback captured.
+      cv_.wait(lock, [&] { return dispatching_token_ != token; });
+      return;
+    }
+    ObjectId id = iit->second;
+    waiter_index_.erase(iit);
+    auto eit = entries_.find(id);
+    if (eit != entries_.end()) {
+      auto& ws = eit->second->waiters;
+      ws.erase(std::remove_if(ws.begin(), ws.end(),
+                              [&](const Waiter& w) { return w.token == token; }),
+               ws.end());
+      if (ws.empty()) {
+        // Nobody wants the object anymore: drop the pull, partial chunks and
+        // all, and release the wire.
+        to_abort = eit->second;
+        entries_.erase(eit);
+      }
+    }
+  }
+  if (to_abort) {
+    to_abort->aborted.store(true, std::memory_order_release);
+    if (to_abort->charged.exchange(false, std::memory_order_acq_rel)) {
+      inflight_bytes_.fetch_sub(to_abort->size, std::memory_order_relaxed);
+    }
+    uint64_t net_token = to_abort->net_token.load(std::memory_order_acquire);
+    if (net_token != 0) {
+      net_->CancelTransfer(net_token);
+    }
+    // The assembly buffer is owned by the pull loop (which may still hold the
+    // entry); it is freed when the last EntryPtr drops.
+  }
+}
+
+void PullManager::AbortAll(const Status& status) {
+  std::vector<EntryPtr> aborted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted.reserve(entries_.size());
+    for (auto& [id, e] : entries_) {
+      aborted.push_back(e);
+    }
+    entries_.clear();
+  }
+  for (auto& e : aborted) {
+    e->aborted.store(true, std::memory_order_release);
+    if (e->charged.exchange(false, std::memory_order_acq_rel)) {
+      inflight_bytes_.fetch_sub(e->size, std::memory_order_relaxed);
+    }
+    uint64_t net_token = e->net_token.load(std::memory_order_acquire);
+    if (net_token != 0) {
+      net_->CancelTransfer(net_token);
+    }
+    std::vector<Waiter> waiters;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      waiters = std::move(e->waiters);
+      e->waiters.clear();
+    }
+    DispatchWaiters(std::move(waiters), status);
+  }
+}
+
+void PullManager::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  queue_.Close();
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+  AbortAll(Status::Unavailable("pull manager shut down"));
+}
+
+void PullManager::Loop() {
+  while (auto ev = queue_.Pop()) {
+    EntryPtr e;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(ev->id);
+      if (it == entries_.end()) {
+        continue;  // cancelled / aborted / completed under us
+      }
+      e = it->second;
+    }
+    if (ev->start) {
+      if (!e->started) {
+        e->started = true;
+        HandleStart(e);
+      }
+      continue;
+    }
+    if (ev->epoch != e->current_epoch) {
+      continue;  // chunk completion from a superseded transfer
+    }
+    HandleChunkDone(e, ev->status);
+  }
+}
+
+void PullManager::HandleStart(const EntryPtr& e) {
+  // The object may have been created locally (or pulled by a racing path)
+  // between registration and here.
+  if (store_->ContainsLocal(e->id)) {
+    CompleteEntry(e, Status::Ok());
+    return;
+  }
+  Status fail;
+  if (!StartFromSource(e, &fail)) {
+    CompleteEntry(e, fail);
+    return;
+  }
+  pulls_started_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool PullManager::StartFromSource(const EntryPtr& e, Status* fail) {
+  auto entry = tables_->objects.GetLocations(e->id);
+  if (!entry.ok()) {
+    *fail = Status::KeyNotFound("object not created yet");
+    return false;
+  }
+  // Preferred source (the scheduler's dispatch hint) first, then Object
+  // Table order. Bandwidth-aware selection is deliberately deferred.
+  std::vector<NodeId> candidates;
+  if (!e->preferred.IsNil()) {
+    candidates.push_back(e->preferred);
+  }
+  candidates.insert(candidates.end(), entry->locations.begin(), entry->locations.end());
+  for (const NodeId& cand : candidates) {
+    if (cand == node_ || e->tried.count(cand) > 0 || net_->IsDead(cand)) {
+      continue;
+    }
+    ObjectStore* peer = store_->Peer(cand);
+    if (peer == nullptr) {
+      e->tried.insert(cand);
+      continue;
+    }
+    auto r = peer->GetLocal(e->id);
+    if (!r.ok()) {
+      // Replica advertised but gone (deleted / crashed store): skip it.
+      e->tried.insert(cand);
+      continue;
+    }
+    e->src = cand;
+    e->src_buffer = *r;
+    if (!e->assembly) {
+      e->size = e->src_buffer->Size();
+      e->assembly = std::make_shared<Buffer>(e->size);
+      e->num_chunks =
+          config_.chunk_bytes == 0
+              ? 1
+              : std::max<size_t>(1, (e->size + config_.chunk_bytes - 1) / config_.chunk_bytes);
+      inflight_bytes_.fetch_add(e->size, std::memory_order_relaxed);
+      e->charged.store(true, std::memory_order_release);
+    } else {
+      // Failover resumes mid-object; replicas of an immutable object are
+      // byte-identical, so the already-assembled prefix stays valid.
+      RAY_CHECK(e->src_buffer->Size() == e->size);
+    }
+    KickChunk(e);
+    return true;
+  }
+  *fail = entry->locations.empty() ? Status::KeyNotFound("all locations retracted")
+                                   : Status::NodeDead("no live replica to pull from");
+  return false;
+}
+
+void PullManager::KickChunk(const EntryPtr& e) {
+  if (e->aborted.load(std::memory_order_acquire)) {
+    return;
+  }
+  size_t chunk_bytes = config_.chunk_bytes == 0 ? e->size : config_.chunk_bytes;
+  size_t off = e->chunk * chunk_bytes;
+  size_t len = e->size > off ? std::min(chunk_bytes, e->size - off) : 0;
+  int streams = len >= config_.parallel_copy_threshold ? config_.num_transfer_streams : 1;
+  uint64_t epoch = epoch_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  e->current_epoch = epoch;
+  ObjectId id = e->id;
+  uint64_t token = net_->TransferAsync(
+      e->src, node_, len, streams, id,
+      [this, id, epoch](Status s) { queue_.Push(Event{id, epoch, std::move(s), false}); });
+  e->net_token.store(token, std::memory_order_release);
+  // A cancel that raced in between the aborted check above and the store may
+  // have missed this token; re-check and release the wire ourselves.
+  if (e->aborted.load(std::memory_order_acquire)) {
+    net_->CancelTransfer(token);
+  }
+}
+
+void PullManager::HandleChunkDone(const EntryPtr& e, const Status& status) {
+  if (!status.ok()) {
+    // Source (or we) died mid-transfer: fail over to another replica,
+    // resuming at this chunk — never from byte zero.
+    e->tried.insert(e->src);
+    e->src_buffer.reset();
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    Status fail;
+    if (!StartFromSource(e, &fail)) {
+      // Report the mid-pull death, not the table state: replicas existed.
+      if (fail.code() == StatusCode::kKeyNotFound) {
+        fail = Status::NodeDead("all replicas lost mid-pull");
+      }
+      CompleteEntry(e, fail);
+    }
+    return;
+  }
+  chunks_transferred_.fetch_add(1, std::memory_order_relaxed);
+  size_t done_chunk = e->chunk;
+  e->chunk++;
+  if (e->chunk < e->num_chunks) {
+    // Pipeline: next chunk goes on the wire before this one is copied.
+    KickChunk(e);
+  }
+  size_t chunk_bytes = config_.chunk_bytes == 0 ? e->size : config_.chunk_bytes;
+  size_t off = done_chunk * chunk_bytes;
+  size_t len = e->size > off ? std::min(chunk_bytes, e->size - off) : 0;
+  if (len > 0) {
+    int threads = len >= config_.parallel_copy_threshold ? config_.num_transfer_streams : 1;
+    trace::Span span(trace::Stage::kChunkCopy, TaskId(), e->id, node_, e->src, len);
+    ParallelCopy(e->assembly->MutableData() + off, e->src_buffer->Data() + off, len, threads,
+                 *copy_pool_);
+  }
+  if (done_chunk + 1 == e->num_chunks && !e->aborted.load(std::memory_order_acquire)) {
+    CompleteEntry(e, Status::Ok());
+  }
+}
+
+void PullManager::CompleteEntry(const EntryPtr& e, Status status) {
+  bool pulled_bytes = e->assembly != nullptr;
+  if (status.ok() && pulled_bytes) {
+    status = store_->Put(e->id, std::move(e->assembly));
+  }
+  if (e->charged.exchange(false, std::memory_order_acq_rel)) {
+    inflight_bytes_.fetch_sub(e->size, std::memory_order_relaxed);
+  }
+  if (pulled_bytes) {
+    e->assembly.reset();
+    // Whole-pull span; the per-chunk wire and copy spans nest under it.
+    auto& tracer = trace::Tracer::Instance();
+    if (tracer.ShouldRecordInfra()) {
+      int64_t now = NowMicros();
+      tracer.Emit(trace::Stage::kFetch, e->started_us, now - e->started_us, TaskId(), e->id,
+                  node_, e->src, e->size);
+    }
+  }
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(e->id);
+    if (it != entries_.end() && it->second == e) {
+      entries_.erase(it);
+    }
+    waiters = std::move(e->waiters);
+    e->waiters.clear();
+  }
+  DispatchWaiters(std::move(waiters), status);
+}
+
+void PullManager::DispatchWaiters(std::vector<Waiter> waiters, const Status& status) {
+  for (auto& w : waiters) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (waiter_index_.erase(w.token) == 0) {
+        continue;  // cancelled while we were completing
+      }
+      dispatching_token_ = w.token;
+    }
+    w.cb(status);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      dispatching_token_ = 0;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace ray

@@ -69,6 +69,27 @@ void LocalScheduler::Shutdown() {
   if (fetch_pool_) {
     fetch_pool_->Shutdown();
   }
+  // Cancel outstanding pulls. The fetch pool is already joined, so no new
+  // PullAsync can race in; CancelPull blocks until that waiter's callback is
+  // not running, and the counter below covers callbacks that already erased
+  // their token but are still executing on the store's pull loop.
+  std::vector<uint64_t> tokens;
+  {
+    std::lock_guard<std::mutex> lock(deps_mu_);
+    tokens.reserve(pull_tokens_.size());
+    for (const auto& [object, token] : pull_tokens_) {
+      tokens.push_back(token);
+    }
+    pull_tokens_.clear();
+    fetching_.clear();
+  }
+  for (uint64_t token : tokens) {
+    store_->CancelPull(token);
+  }
+  {
+    std::unique_lock<std::mutex> lock(pull_cb_mu_);
+    pull_cb_cv_.wait(lock, [&] { return active_pull_callbacks_ == 0; });
+  }
   // Drop all Object Table subscriptions. Unsubscribe blocks until in-flight
   // callbacks drain, so call it outside deps_mu_.
   std::vector<std::pair<ObjectId, uint64_t>> subs;
@@ -176,79 +197,118 @@ void LocalScheduler::FetchJob(const ObjectId& object) {
     OnObjectLocal(object);
     return;
   }
-  // One in-flight fetch per object: subscription callbacks and the
-  // heartbeat-cadence retry can both fire while a pull is already running,
-  // and duplicate pulls charge the wire twice.
+  // One in-flight pull per object: subscription callbacks and the
+  // heartbeat-cadence retry can both fire while a pull is already running.
+  // (The PullManager dedups cluster-wide interest too, but bounding our own
+  // callbacks here keeps waiter lists and token bookkeeping small.)
   {
     std::lock_guard<std::mutex> lock(deps_mu_);
     if (!fetching_.insert(object).second) {
       return;
     }
   }
-  FetchJobLocked(object);
+  int64_t start_us = NowMicros();
+  uint64_t token = store_->PullAsync(object, [this, object, start_us](Status s) {
+    OnPullDone(object, start_us, std::move(s));
+  });
   {
     std::lock_guard<std::mutex> lock(deps_mu_);
-    fetching_.erase(object);
+    // The callback may already have fired and erased this object's entries;
+    // the token we insert is then stale, which CancelPull tolerates.
+    if (fetching_.count(object) > 0) {
+      pull_tokens_[object] = token;
+    }
   }
 }
 
-void LocalScheduler::FetchJobLocked(const ObjectId& object) {
+void LocalScheduler::OnPullDone(const ObjectId& object, int64_t start_us, Status status) {
+  {
+    std::lock_guard<std::mutex> lock(pull_cb_mu_);
+    ++active_pull_callbacks_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(deps_mu_);
+    fetching_.erase(object);
+    pull_tokens_.erase(object);
+  }
+  if (!shutdown_.load(std::memory_order_relaxed)) {
+    if (status.ok()) {
+      auto entry = tables_->objects.GetLocations(object);
+      double secs = static_cast<double>(NowMicros() - start_us) * 1e-6;
+      if (entry.ok() && secs > 0 && entry->size_bytes > 0) {
+        bandwidth_ema_.Observe(static_cast<double>(entry->size_bytes) / secs);
+      }
+      OnObjectLocal(object);
+    } else {
+      // Failure handling consults lineage and may trigger reconstruction; run
+      // it on the fetch pool so the store's pull loop is never blocked on it.
+      fetch_pool_->Submit([this, object, status = std::move(status)] {
+        HandlePullFailure(object, status);
+      });
+    }
+  }
+  {
+    // Notify under the lock: Shutdown's waiter may destroy this scheduler the
+    // moment the count hits zero, so the cv must not be touched outside it.
+    std::lock_guard<std::mutex> lock(pull_cb_mu_);
+    --active_pull_callbacks_;
+    pull_cb_cv_.notify_all();
+  }
+}
+
+void LocalScheduler::HandlePullFailure(const ObjectId& object, const Status& status) {
+  (void)status;  // which replica died doesn't matter; current table state does
+  if (shutdown_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (store_->ContainsLocal(object)) {
+    OnObjectLocal(object);
+    return;
+  }
   auto entry = tables_->objects.GetLocations(object);
+  bool any_alive = false;
+  if (entry.ok()) {
+    for (const NodeId& src : entry->locations) {
+      if (src != node_ && !net_->IsDead(src)) {
+        any_alive = true;
+        break;
+      }
+    }
+  }
+  if (any_alive) {
+    // A live replica appeared after the pull gave up (publish racing the
+    // failure): try again rather than waiting for the heartbeat retry.
+    FetchJob(object);
+    return;
+  }
   if (!entry.ok() || entry->locations.empty()) {
     // Not created yet. Usually the subscription will fire when it is — but
     // if the producer died with its queue, no location will ever appear.
     auto creating = tables_->objects.GetCreatingTask(object);
-    if (creating.ok()) {
-      auto state = tables_->tasks.GetState(*creating);
-      bool producer_healthy = false;
-      if (state.ok()) {
-        auto [st, node] = *state;
-        producer_healthy = (st == gcs::TaskState::kPending || st == gcs::TaskState::kRunning ||
-                            st == gcs::TaskState::kDone) &&
-                           !net_->IsDead(node);
-      }
-      if (!producer_healthy) {
-        ObjectUnreachableHandler handler;
-        {
-          std::lock_guard<std::mutex> lock(deps_mu_);
-          handler = unreachable_handler_;
-        }
-        if (handler) {
-          handler(object);
-        }
-      }
+    if (!creating.ok()) {
+      return;
     }
-    return;
-  }
-  bool any_alive = false;
-  for (const NodeId& src : entry->locations) {
-    if (src == node_) {
-      continue;  // stale self-location from before a crash
+    auto state = tables_->tasks.GetState(*creating);
+    bool producer_healthy = false;
+    if (state.ok()) {
+      auto [st, node] = *state;
+      producer_healthy = (st == gcs::TaskState::kPending || st == gcs::TaskState::kRunning ||
+                          st == gcs::TaskState::kDone) &&
+                         !net_->IsDead(node);
     }
-    if (net_->IsDead(src)) {
-      continue;
-    }
-    any_alive = true;
-    Timer timer;
-    if (store_->Fetch(object, src).ok()) {
-      double secs = timer.ElapsedSeconds();
-      if (secs > 0 && entry->size_bytes > 0) {
-        bandwidth_ema_.Observe(static_cast<double>(entry->size_bytes) / secs);
-      }
-      OnObjectLocal(object);
+    if (producer_healthy) {
       return;
     }
   }
-  if (!any_alive) {
-    // Every replica died with its node: reconstruction needed (Fig. 11a).
-    ObjectUnreachableHandler handler;
-    {
-      std::lock_guard<std::mutex> lock(deps_mu_);
-      handler = unreachable_handler_;
-    }
-    if (handler) {
-      handler(object);
-    }
+  // Every replica (or the producer) died with its node: reconstruction
+  // needed (Fig. 11a).
+  ObjectUnreachableHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(deps_mu_);
+    handler = unreachable_handler_;
+  }
+  if (handler) {
+    handler(object);
   }
 }
 

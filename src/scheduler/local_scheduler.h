@@ -9,8 +9,10 @@
 // required resources, in which case they spill to the global scheduler.
 // Dependency management is GCS-driven: each missing input registers an
 // Object Table subscription; when a location is published anywhere in the
-// cluster the scheduler pulls a copy into the local store, and tasks whose
-// inputs are all local become ready. Dispatch is resource-gated (CPU/GPU).
+// cluster the scheduler starts an asynchronous pull into the local store
+// (ObjectStore::PullAsync — completion arrives as a callback, no fetch
+// thread is parked per transfer), and tasks whose inputs are all local
+// become ready. Dispatch is resource-gated (CPU/GPU).
 //
 // Locking (control-plane fast path PR): the old single big lock is split in
 // two so dependency resolution and dispatch do not serialize against each
@@ -123,9 +125,14 @@ class LocalScheduler {
   void OnObjectLocal(const ObjectId& object);
   // Ensures a subscription + fetch attempt exists for `object`.
   void EnsureFetch(const ObjectId& object);
+  // Kicks an asynchronous pull (deduped per object); returns immediately.
   void FetchJob(const ObjectId& object);
-  // The body of FetchJob once the per-object in-flight guard is held.
-  void FetchJobLocked(const ObjectId& object);
+  // Pull-completion callback. Success promotes dependents inline; failure is
+  // bounced to fetch_pool_ so lineage checks never block the pull loop.
+  void OnPullDone(const ObjectId& object, int64_t start_us, Status status);
+  // Decides between retry (a live replica appeared since the failure) and
+  // reconstruction (producer or every replica dead). Runs on fetch_pool_.
+  void HandlePullFailure(const ObjectId& object, const Status& status);
   void WorkerLoop();
   void HeartbeatLoop();
   void RescueStrandedTasks();
@@ -150,6 +157,16 @@ class LocalScheduler {
   std::unordered_map<ObjectId, uint64_t> subscriptions_;
   // objects with a pull currently in flight (dedupe guard)
   std::unordered_set<ObjectId> fetching_;
+  // object -> PullManager waiter token, for cancellation on Shutdown. May
+  // briefly hold a token whose pull already completed (the completion
+  // callback can outrun the insert); CancelPull on those is a fast no-op.
+  std::unordered_map<ObjectId, uint64_t> pull_tokens_;
+  // Shutdown barrier: a completion callback erases its token on entry, so
+  // the token-cancellation snapshot can miss it — this counter covers the
+  // gap (Shutdown waits for it to drain after cancelling).
+  std::mutex pull_cb_mu_;
+  std::condition_variable pull_cb_cv_;
+  int active_pull_callbacks_ = 0;
   ObjectUnreachableHandler unreachable_handler_;
 
   // --- dispatch side: resource gating ---

@@ -32,6 +32,10 @@ const char* StageName(Stage stage) {
       return "fetch";
     case Stage::kTransfer:
       return "transfer";
+    case Stage::kChunkTransfer:
+      return "chunk-transfer";
+    case Stage::kChunkCopy:
+      return "chunk-copy";
     case Stage::kEvict:
       return "evict";
     case Stage::kPromote:

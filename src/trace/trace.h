@@ -62,7 +62,9 @@ enum class Stage : uint8_t {
   kPut,           // object store seal + location publish
   kGet,           // blocking object store get
   kFetch,         // pull of a remote replica into the local store
-  kTransfer,      // simulated wire time of a data transfer
+  kTransfer,      // simulated wire time of a blocking data transfer
+  kChunkTransfer, // wire time of one chunk of an async pull (arg = bytes)
+  kChunkCopy,     // assembly memcpy of one received chunk (arg = bytes)
   kEvict,         // LRU demotion to the disk tier (instant)
   kPromote,       // disk tier -> memory promotion
   kGcsCommit,     // one chain-replication round (arg = ops in the batch)
