@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Chaos gate: the seeded soak from tests/chaos_test.cc across a few fixed
+# seeds. Each run drives the Fig. 11a chain workload under continuous
+# crash-stop kills (with rejoins), transient partitions, bandwidth throttles,
+# packet loss, and jitter; correctness is exact final values. Seeds are fixed
+# so a failure reproduces; pass extra seeds as arguments to explore.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${BUILD_DIR:-build}"
+SEEDS=("${@:-}")
+if [ -z "${SEEDS[0]:-}" ]; then
+  SEEDS=(805381 7 424242)
+fi
+
+for seed in "${SEEDS[@]}"; do
+  echo "== chaos soak: seed $seed =="
+  RAY_CHAOS_SEED="$seed" "./$BUILD/tests/chaos_test"
+done
+echo "chaos: all ${#SEEDS[@]} seeds clean"

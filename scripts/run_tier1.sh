@@ -17,3 +17,7 @@ echo "trace_dump smoke: OK (build/trace.json)"
 # Data-plane smoke check: chunked pull pipeline + duplicate-pull dedup, tiny
 # sizes; exits nonzero if any pull fails.
 RAY_BENCH_JSON_DIR=build ./build/bench/bench_object_store --smoke
+
+# Chaos gate: seeded fault-injection soak (kills, partitions, throttles,
+# packet loss) over a bounded set of fixed seeds.
+./scripts/run_chaos.sh

@@ -8,16 +8,23 @@
 #   net_objectstore_test - shared-mutex object store, sim network
 #   pull_manager_test    - async pull dedup, chunk pipeline, mid-pull failover
 #   trace_test           - lock-free trace rings, pause handshake vs snapshot
+#   chaos_test           - chaos soak: detector + recovery under seeded faults
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j"$(nproc)" \
-  --target gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test
+  --target gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test \
+  chaos_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 for t in gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test; do
   echo "== TSan: $t =="
   ./build-tsan/tests/"$t"
 done
+
+# The chaos soak runs with a widened detection window: TSan's slowdown must
+# never starve a live node's heartbeat thread into a false death.
+echo "== TSan: chaos_test =="
+RAY_CHAOS_HEARTBEAT_US=20000 RAY_CHAOS_MISS_THRESHOLD=8 ./build-tsan/tests/chaos_test
 echo "TSan: all clean"

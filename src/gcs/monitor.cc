@@ -1,0 +1,163 @@
+#include "gcs/monitor.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/serialization.h"
+
+namespace ray {
+namespace gcs {
+
+// --- LivenessView ---
+
+LivenessView::LivenessView(GcsTables* tables) : tables_(tables) {
+  // Subscribe before seeding: a record published in between is re-applied by
+  // the seed fold, and membership records are idempotent to re-apply.
+  sub_token_ = tables_->nodes.SubscribeMembership(
+      [this](const NodeId& node, bool alive) { OnMembership(node, alive); });
+  for (const auto& [node, alive] : tables_->nodes.GetAll()) {
+    if (!alive) {
+      std::lock_guard<std::shared_mutex> lock(mu_);
+      dead_.insert(node);
+    }
+  }
+}
+
+LivenessView::~LivenessView() { tables_->nodes.UnsubscribeMembership(sub_token_); }
+
+bool LivenessView::IsDead(const NodeId& node) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return dead_.count(node) > 0;
+}
+
+void LivenessView::OnMembership(const NodeId& node, bool alive) {
+  bool newly_dead = false;
+  {
+    std::lock_guard<std::shared_mutex> lock(mu_);
+    if (alive) {
+      dead_.erase(node);
+    } else {
+      newly_dead = dead_.insert(node).second;
+    }
+  }
+  if (!newly_dead) {
+    return;
+  }
+  deaths_observed_.fetch_add(1, std::memory_order_relaxed);
+  // Copy callbacks out of the lock: a callback may add/remove others.
+  std::vector<DeathCallback> cbs;
+  {
+    std::lock_guard<std::mutex> lock(cb_mu_);
+    cbs.reserve(callbacks_.size());
+    for (const auto& [token, cb] : callbacks_) {
+      cbs.push_back(cb);
+    }
+  }
+  for (const auto& cb : cbs) {
+    cb(node);
+  }
+}
+
+uint64_t LivenessView::AddDeathCallback(DeathCallback callback) {
+  std::lock_guard<std::mutex> lock(cb_mu_);
+  uint64_t token = next_cb_token_++;
+  callbacks_.emplace(token, std::move(callback));
+  return token;
+}
+
+void LivenessView::RemoveDeathCallback(uint64_t token) {
+  std::lock_guard<std::mutex> lock(cb_mu_);
+  callbacks_.erase(token);
+}
+
+// --- GcsMonitor ---
+
+GcsMonitor::GcsMonitor(GcsTables* tables, const MonitorConfig& config)
+    : tables_(tables), config_(config) {
+  if (config_.heartbeat_interval_us <= 0) {
+    config_.heartbeat_interval_us = 20'000;
+  }
+  sweep_interval_us_ = config_.sweep_interval_us > 0
+                           ? config_.sweep_interval_us
+                           : std::max<int64_t>(1'000, config_.heartbeat_interval_us / 4);
+  sweep_thread_ = std::thread([this] { SweepLoop(); });
+}
+
+GcsMonitor::~GcsMonitor() { Stop(); }
+
+void GcsMonitor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (sweep_thread_.joinable()) {
+    sweep_thread_.join();
+  }
+}
+
+void GcsMonitor::SweepLoop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_) {
+    stop_cv_.wait_for(lock, std::chrono::microseconds(sweep_interval_us_));
+    if (stop_) {
+      return;
+    }
+    lock.unlock();
+    Sweep(NowMicros());
+    lock.lock();
+  }
+}
+
+void GcsMonitor::Sweep(int64_t now_us) {
+  const int64_t stale_after = DetectionBoundUs();
+  for (const auto& [node, alive] : tables_->nodes.GetAll()) {
+    if (!alive) {
+      observed_.erase(node);
+      continue;
+    }
+    auto hb = tables_->nodes.GetHeartbeat(node);
+    auto it = observed_.find(node);
+    if (it == observed_.end()) {
+      // First sighting (registration may precede the first heartbeat): start
+      // the staleness clock now, granting a full detection window of grace.
+      observed_.emplace(node, Observed{hb.ok() ? hb->seq : 0, now_us});
+      continue;
+    }
+    if (hb.ok() && hb->seq != it->second.seq) {
+      it->second.seq = hb->seq;
+      it->second.last_change_us = now_us;
+      continue;
+    }
+    if (now_us - it->second.last_change_us >= stale_after) {
+      DeclareDead(node);
+      observed_.erase(node);
+    }
+  }
+}
+
+void GcsMonitor::DeclareDead(const NodeId& node) {
+  deaths_declared_.fetch_add(1, std::memory_order_relaxed);
+  RAY_LOG(WARNING) << "monitor: node " << ToShortString(node) << " missed "
+                   << config_.miss_threshold << " heartbeat intervals; declaring dead";
+  // The membership append is the death notification: every LivenessView
+  // subscribes to it.
+  tables_->nodes.MarkDead(node);
+  // Durable cluster event (Profiler wire format: label + start/end stamps).
+  // Written here — not by the dying node — because a crashed node reports
+  // nothing; detection is the only place death is actually known.
+  int64_t now = NowMicros();
+  Writer w;
+  Put(w, std::string("node-death:") + ToShortString(node));
+  w.WritePod<int64_t>(now);
+  w.WritePod<int64_t>(now);
+  tables_->events.Append("cluster", w.Finish()->ToString());
+}
+
+}  // namespace gcs
+}  // namespace ray

@@ -1,0 +1,151 @@
+// Failure detection (Section 4.2.3). Two halves:
+//
+//   GcsMonitor   — the GCS-side sweeper. Local schedulers already publish
+//                  periodic heartbeats into the Node Table; the monitor is
+//                  their only consumer for liveness. It polls every alive
+//                  node's heartbeat sequence number and, when a node's
+//                  heartbeat has not advanced for `miss_threshold` intervals,
+//                  declares the node dead: MarkDead in the Node Table (whose
+//                  membership key doubles as the death pub-sub channel) and a
+//                  durable "node-death:" record in the event log.
+//
+//   LivenessView — the consumer-side cache. Subscribes to Node Table
+//                  membership and keeps a local dead-set, so every liveness
+//                  decision in the scheduler / object store / runtime layers
+//                  is one hash lookup against *detected* state rather than a
+//                  query of the simulated network's omniscient IsDead oracle.
+//                  Death callbacks let consumers react proactively (actor
+//                  re-creation, fetch retries, pull failover) instead of
+//                  waiting to trip over the corpse on the next request.
+//
+// Detection latency: a node's death becomes visible no sooner than the wire
+// going dark and no later than roughly
+//     miss_threshold * heartbeat_interval_us + sweep_interval_us
+// after its last heartbeat. Consumers therefore treat "alive in the view" as
+// a hint that can be stale for one detection window, and every path that
+// acts on it tolerates the resulting failed RPC/transfer by retrying.
+#ifndef RAY_GCS_MONITOR_H_
+#define RAY_GCS_MONITOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/id.h"
+#include "gcs/tables.h"
+
+namespace ray {
+namespace gcs {
+
+// ---------------------------------------------------------------------------
+// LivenessView: subscription-backed local cache of cluster membership.
+// ---------------------------------------------------------------------------
+class LivenessView {
+ public:
+  // Fires exactly once per node transition into the dead state. Runs on a
+  // GCS publish worker: must be cheap, must not block, and must not
+  // subscribe/unsubscribe on the same GCS (hand real work to another thread).
+  using DeathCallback = std::function<void(const NodeId&)>;
+
+  explicit LivenessView(GcsTables* tables);
+  ~LivenessView();
+
+  LivenessView(const LivenessView&) = delete;
+  LivenessView& operator=(const LivenessView&) = delete;
+
+  // Nodes the view has never heard of count as alive: a fresh node's
+  // registration may still be in flight, and the failure detector — not this
+  // cache — is the authority that turns silence into death.
+  bool IsDead(const NodeId& node) const;
+  bool IsAlive(const NodeId& node) const { return !IsDead(node); }
+
+  uint64_t AddDeathCallback(DeathCallback callback);
+  void RemoveDeathCallback(uint64_t token);
+
+  uint64_t NumDeathsObserved() const {
+    return deaths_observed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void OnMembership(const NodeId& node, bool alive);
+
+  GcsTables* tables_;
+  uint64_t sub_token_ = 0;
+
+  mutable std::shared_mutex mu_;
+  std::unordered_set<NodeId> dead_;
+
+  std::mutex cb_mu_;
+  std::map<uint64_t, DeathCallback> callbacks_;
+  uint64_t next_cb_token_ = 1;
+  std::atomic<uint64_t> deaths_observed_{0};
+};
+
+// ---------------------------------------------------------------------------
+// GcsMonitor: heartbeat sweeper that turns silence into MarkDead.
+// ---------------------------------------------------------------------------
+struct MonitorConfig {
+  // The cadence nodes report at. 0 = inherit the local schedulers'
+  // heartbeat_interval_us (the Cluster fills it in so the two never drift
+  // apart); standalone monitors fall back to 20ms.
+  int64_t heartbeat_interval_us = 0;
+  // Consecutive missed intervals before a node is declared dead.
+  int miss_threshold = 5;
+  // Sweep cadence; 0 derives heartbeat_interval_us / 4 (clamped to >= 1ms).
+  int64_t sweep_interval_us = 0;
+};
+
+class GcsMonitor {
+ public:
+  GcsMonitor(GcsTables* tables, const MonitorConfig& config);
+  ~GcsMonitor();
+
+  GcsMonitor(const GcsMonitor&) = delete;
+  GcsMonitor& operator=(const GcsMonitor&) = delete;
+
+  // Stops the sweep thread; idempotent. After return no further death is
+  // declared (Cluster teardown calls this before nodes stop heartbeating, so
+  // graceful shutdown is not misread as mass node failure).
+  void Stop();
+
+  int64_t DetectionBoundUs() const {
+    return config_.heartbeat_interval_us * config_.miss_threshold;
+  }
+  uint64_t NumDeathsDeclared() const {
+    return deaths_declared_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Observed {
+    uint64_t seq = 0;
+    int64_t last_change_us = 0;  // when the monitor last saw seq advance
+  };
+
+  void SweepLoop();
+  void Sweep(int64_t now_us);
+  void DeclareDead(const NodeId& node);
+
+  GcsTables* tables_;
+  MonitorConfig config_;
+  int64_t sweep_interval_us_;
+
+  std::unordered_map<NodeId, Observed> observed_;  // sweep-thread private
+  std::atomic<uint64_t> deaths_declared_{0};
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread sweep_thread_;
+};
+
+}  // namespace gcs
+}  // namespace ray
+
+#endif  // RAY_GCS_MONITOR_H_

@@ -230,6 +230,7 @@ Result<ActorTable::Checkpoint> ActorTable::GetCheckpoint(const ActorId& actor) c
 
 std::string Heartbeat::Serialize() const {
   Writer w;
+  w.WritePod<uint64_t>(seq);
   w.WritePod<uint64_t>(queue_length);
   w.WritePod<double>(avg_task_duration_s);
   w.WritePod<double>(avg_bandwidth_bytes_s);
@@ -241,6 +242,7 @@ std::string Heartbeat::Serialize() const {
 Heartbeat Heartbeat::Deserialize(const std::string& bytes) {
   Reader r(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
   Heartbeat hb;
+  hb.seq = r.ReadPod<uint64_t>();
   hb.queue_length = r.ReadPod<uint64_t>();
   hb.avg_task_duration_s = r.ReadPod<double>();
   hb.avg_bandwidth_bytes_s = r.ReadPod<double>();
@@ -313,10 +315,18 @@ Result<Heartbeat> NodeTable::GetHeartbeat(const NodeId& node) const {
   return Heartbeat::Deserialize(*v);
 }
 
-uint64_t NodeTable::SubscribeMembership(std::function<void()> callback) {
-  return gcs_->Subscribe(kNodesKey,
-                         [cb = std::move(callback)](const std::string&, const std::string&) { cb(); });
+uint64_t NodeTable::SubscribeMembership(
+    std::function<void(const NodeId&, bool alive)> callback) {
+  return gcs_->Subscribe(
+      kNodesKey, [cb = std::move(callback)](const std::string&, const std::string& rec) {
+        if (rec.size() < 1 + NodeId::kSize) {
+          return;
+        }
+        cb(NodeId::FromBinary(rec.substr(1)), rec[0] == '+');
+      });
 }
+
+void NodeTable::UnsubscribeMembership(uint64_t token) { gcs_->Unsubscribe(kNodesKey, token); }
 
 // --- FunctionTable ---
 

@@ -119,6 +119,10 @@ class ActorTable {
 // per-node waiting time (Section 4.2.2).
 // ---------------------------------------------------------------------------
 struct Heartbeat {
+  // Monotonic per-node sequence number. The failure detector (GcsMonitor)
+  // keys liveness on this advancing, not on wall-clock timestamps, so a
+  // re-delivered or reordered heartbeat can never look "fresh".
+  uint64_t seq = 0;
   uint64_t queue_length = 0;
   double avg_task_duration_s = 0.0;   // exponential average
   double avg_bandwidth_bytes_s = 0.0; // exponential average
@@ -143,8 +147,11 @@ class NodeTable {
   Status ReportHeartbeat(const NodeId& node, const Heartbeat& hb);
   Result<Heartbeat> GetHeartbeat(const NodeId& node) const;
 
-  // Fires when any node is registered or marked dead.
-  uint64_t SubscribeMembership(std::function<void()> callback);
+  // Fires `callback(node, alive)` when any node is registered (alive=true)
+  // or marked dead (alive=false). This is the cluster's death notification
+  // channel: MarkDead — written by the failure detector — publishes here.
+  uint64_t SubscribeMembership(std::function<void(const NodeId&, bool alive)> callback);
+  void UnsubscribeMembership(uint64_t token);
 
  private:
   Gcs* gcs_;

@@ -57,6 +57,85 @@ void SimNetwork::ReleaseNic(const NodeId& node, int64_t start_us, int64_t end_us
   }
 }
 
+void SimNetwork::SetChaosSeed(uint64_t seed) {
+  {
+    std::lock_guard<std::mutex> lock(chaos_mu_);
+    chaos_rng_ = Rng(seed);
+  }
+  chaos_enabled_.store(true, std::memory_order_release);
+}
+
+void SimNetwork::DisableChaos() { chaos_enabled_.store(false, std::memory_order_release); }
+
+void SimNetwork::SetDropProbability(double p) {
+  std::lock_guard<std::mutex> lock(chaos_mu_);
+  chaos_drop_p_ = p;
+}
+
+void SimNetwork::SetLinkDropProbability(const NodeId& a, const NodeId& b, double p) {
+  std::lock_guard<std::mutex> lock(chaos_mu_);
+  if (p <= 0.0) {
+    link_drop_p_[a].erase(b);
+    link_drop_p_[b].erase(a);
+  } else {
+    link_drop_p_[a][b] = p;
+    link_drop_p_[b][a] = p;
+  }
+}
+
+void SimNetwork::SetPartitioned(const NodeId& a, const NodeId& b, bool on) {
+  std::lock_guard<std::mutex> lock(chaos_mu_);
+  if (on) {
+    partitioned_[a].insert(b);
+    partitioned_[b].insert(a);
+  } else {
+    partitioned_[a].erase(b);
+    partitioned_[b].erase(a);
+  }
+}
+
+void SimNetwork::SetNodeBandwidthScale(const NodeId& node, double scale) {
+  std::lock_guard<std::mutex> lock(chaos_mu_);
+  if (scale >= 1.0 || scale <= 0.0) {
+    bandwidth_scale_.erase(node);
+  } else {
+    bandwidth_scale_[node] = scale;
+  }
+}
+
+void SimNetwork::SetJitterMaxMicros(int64_t us) {
+  std::lock_guard<std::mutex> lock(chaos_mu_);
+  chaos_jitter_max_us_ = us;
+}
+
+SimNetwork::ChaosVerdict SimNetwork::JudgeChaos(const NodeId& from, const NodeId& to) {
+  ChaosVerdict v;
+  std::lock_guard<std::mutex> lock(chaos_mu_);
+  if (auto p = partitioned_.find(from); p != partitioned_.end() && p->second.count(to) > 0) {
+    v.drop = true;
+    return v;
+  }
+  double drop_p = chaos_drop_p_;
+  if (auto l = link_drop_p_.find(from); l != link_drop_p_.end()) {
+    if (auto e = l->second.find(to); e != l->second.end()) {
+      drop_p = std::max(drop_p, e->second);
+    }
+  }
+  if (drop_p > 0.0 && chaos_rng_.Uniform() < drop_p) {
+    v.drop = true;
+    return v;
+  }
+  if (chaos_jitter_max_us_ > 0) {
+    v.jitter_us = chaos_rng_.UniformInt(0, chaos_jitter_max_us_);
+  }
+  for (const NodeId& end : {from, to}) {
+    if (auto s = bandwidth_scale_.find(end); s != bandwidth_scale_.end()) {
+      v.bw_scale = std::min(v.bw_scale, s->second);
+    }
+  }
+  return v;
+}
+
 uint64_t SimNetwork::TransferAsync(const NodeId& from, const NodeId& to, uint64_t bytes,
                                    int streams, const ObjectId& object, TransferCallback cb) {
   uint64_t token;
@@ -72,10 +151,29 @@ uint64_t SimNetwork::TransferAsync(const NodeId& from, const NodeId& to, uint64_
     cb(Status::NodeDead("transfer endpoint dead"));
     return token;
   }
+  int64_t chaos_extra_us = 0;
+  if (chaos_enabled_.load(std::memory_order_acquire)) {
+    ChaosVerdict v = JudgeChaos(from, to);
+    if (v.drop) {
+      chaos_drops_.fetch_add(1, std::memory_order_relaxed);
+      // kUnavailable, not kNodeDead: a lost packet must look like a flaky
+      // link, never like a corpse — liveness decisions belong to the
+      // heartbeat detector alone.
+      cb(Status::Unavailable("chaos: transfer dropped"));
+      return token;
+    }
+    chaos_extra_us = v.jitter_us;
+    if (v.bw_scale < 1.0) {
+      // Stretch serialization time by the throttle; jitter pads the tail.
+      chaos_extra_us += static_cast<int64_t>(
+          static_cast<double>(EstimateTransferMicros(bytes, streams) - config_.latency_us) *
+          (1.0 / v.bw_scale - 1.0));
+    }
+  }
   num_transfers_.fetch_add(1, std::memory_order_relaxed);
   total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
 
-  int64_t wire_us = EstimateTransferMicros(bytes, streams) - config_.latency_us;
+  int64_t wire_us = EstimateTransferMicros(bytes, streams) - config_.latency_us + chaos_extra_us;
   int64_t now = NowMicros();
   Pending p;
   p.from = from;
@@ -231,8 +329,17 @@ Status SimNetwork::ControlRpc(const NodeId& from, const NodeId& to) {
   if (IsDead(from) || IsDead(to)) {
     return Status::NodeDead("rpc endpoint dead");
   }
+  int64_t jitter_us = 0;
+  if (from != to && chaos_enabled_.load(std::memory_order_acquire)) {
+    ChaosVerdict v = JudgeChaos(from, to);
+    if (v.drop) {
+      chaos_drops_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("chaos: rpc dropped");
+    }
+    jitter_us = v.jitter_us;
+  }
   if (from != to && config_.charge_real_time) {
-    PreciseDelayMicros(config_.control_latency_us);
+    PreciseDelayMicros(config_.control_latency_us + jitter_us);
   }
   return Status::Ok();
 }

@@ -37,6 +37,7 @@
 
 #include "common/id.h"
 #include "common/metrics.h"
+#include "common/random.h"
 #include "common/status.h"
 
 namespace ray {
@@ -98,6 +99,30 @@ class SimNetwork {
   void SetNodeDead(const NodeId& node, bool dead);
   bool IsDead(const NodeId& node) const;
 
+  // --- seeded chaos fault injection ---
+  // All injection happens at the wire: dropped messages surface as
+  // kUnavailable (distinct from kNodeDead so consumers can tell a flaky link
+  // from a corpse), partitions fail both directions, bandwidth throttles
+  // stretch transfer times, jitter pads every delay. Heartbeats do NOT flow
+  // through this layer (nodes write them straight into the GCS tables), so
+  // drops and partitions never cause false death declarations — only an
+  // actually-stopped node goes silent. Draw order depends on thread
+  // interleaving, so a fixed seed gives statistical, not bitwise,
+  // reproducibility.
+  void SetChaosSeed(uint64_t seed);  // enables injection, reseeds the RNG
+  void DisableChaos();               // stops injection, keeps knob settings
+  // Probability that any message (transfer chunk or control RPC) is lost.
+  void SetDropProbability(double p);
+  // Per-link override, applied in both directions; max with the default.
+  void SetLinkDropProbability(const NodeId& a, const NodeId& b, double p);
+  // Full bidirectional partition between two nodes while `on`.
+  void SetPartitioned(const NodeId& a, const NodeId& b, bool on);
+  // Scales the node's effective bandwidth (0 < scale <= 1; 1 removes it).
+  void SetNodeBandwidthScale(const NodeId& node, double scale);
+  // Uniform extra delay in [0, us] added to transfers and control RPCs.
+  void SetJitterMaxMicros(int64_t us);
+  uint64_t NumChaosDrops() const { return chaos_drops_.load(std::memory_order_relaxed); }
+
   void SetExtraSchedulerLatencyMicros(int64_t us) {
     extra_scheduler_latency_us_.store(us, std::memory_order_relaxed);
   }
@@ -127,6 +152,14 @@ class SimNetwork {
     int64_t nic_to_start_us = 0, nic_to_end_us = 0;
     TransferCallback cb;
   };
+
+  // The chaos layer's decision for one message on the from->to link.
+  struct ChaosVerdict {
+    bool drop = false;
+    int64_t jitter_us = 0;
+    double bw_scale = 1.0;
+  };
+  ChaosVerdict JudgeChaos(const NodeId& from, const NodeId& to);
 
   // Reserves `duration_us` of NIC time on `node` starting no earlier than
   // `now_us`; returns the finish time of the reservation.
@@ -165,6 +198,20 @@ class SimNetwork {
   // on the NIC-reservation mutex.
   mutable std::shared_mutex dead_mu_;
   std::unordered_set<NodeId> dead_;
+
+  // --- chaos state ---
+  // The atomic keeps the no-chaos fast path to one relaxed load; everything
+  // else is only touched under chaos_mu_ when injection is on.
+  std::atomic<bool> chaos_enabled_{false};
+  std::atomic<uint64_t> chaos_drops_{0};
+  mutable std::mutex chaos_mu_;
+  Rng chaos_rng_{0};
+  double chaos_drop_p_ = 0.0;
+  int64_t chaos_jitter_max_us_ = 0;
+  // Both directions of a pair are stored, so a verdict is one lookup.
+  std::unordered_map<NodeId, std::unordered_map<NodeId, double>> link_drop_p_;
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> partitioned_;
+  std::unordered_map<NodeId, double> bandwidth_scale_;
 };
 
 }  // namespace ray

@@ -79,18 +79,19 @@ void ParallelCopy(uint8_t* dst, const uint8_t* src, size_t size, int threads, Th
 }
 
 ObjectStore::ObjectStore(const NodeId& node, gcs::GcsTables* tables, SimNetwork* net,
-                         const ObjectStoreConfig& config)
+                         const ObjectStoreConfig& config, gcs::LivenessView* liveness)
     : node_(node),
       tables_(tables),
       net_(net),
       config_(config),
+      liveness_(liveness),
       copy_pool_(static_cast<size_t>(std::max(1, config.num_transfer_threads))) {
   PullManagerConfig pull_config;
   pull_config.chunk_bytes = config_.pull_chunk_bytes;
   pull_config.num_transfer_streams = std::max(1, config_.num_transfer_threads);
   pull_config.parallel_copy_threshold = config_.parallel_copy_threshold;
-  pull_manager_ =
-      std::make_unique<PullManager>(node_, tables_, net_, this, &copy_pool_, pull_config);
+  pull_manager_ = std::make_unique<PullManager>(node_, tables_, net_, this, &copy_pool_,
+                                                pull_config, liveness_);
 }
 
 ObjectStore::~ObjectStore() {
@@ -207,7 +208,10 @@ Status ObjectStore::Fetch(const ObjectId& id, const NodeId& src_node) {
     return Status::KeyNotFound("fetch source is self but object absent");
   }
   ObjectStore* src = Peer(src_node);
-  if (src == nullptr || net_->IsDead(src_node)) {
+  if (src == nullptr || (liveness_ != nullptr && liveness_->IsDead(src_node))) {
+    // Declared dead by the failure detector (or unresolvable). A node that
+    // crashed inside the detection window passes this check and the pull
+    // fails over on the wire error instead.
     return Status::NodeDead("fetch source dead");
   }
   Notification done;
@@ -303,6 +307,8 @@ Status ObjectStore::DeleteLocal(const ObjectId& id) {
   }
   return tables_->objects.RemoveLocation(id, node_);
 }
+
+void ObjectStore::OnPeerDeath(const NodeId& node) { pull_manager_->OnNodeDeath(node); }
 
 void ObjectStore::CrashClear() {
   pull_manager_->AbortAll(Status::NodeDead("node crashed"));

@@ -25,6 +25,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "gcs/monitor.h"
 #include "gcs/tables.h"
 #include "net/sim_network.h"
 
@@ -52,8 +53,11 @@ class ObjectStore {
   // Pull completion callback; runs on the pull-loop thread — keep it cheap.
   using PullCallback = std::function<void(Status)>;
 
+  // `liveness` (optional) is the failure detector's view; the store and its
+  // pull manager use it to skip replicas on declared-dead nodes. Null means
+  // assume-alive — wire failures still drive failover.
   ObjectStore(const NodeId& node, gcs::GcsTables* tables, SimNetwork* net,
-              const ObjectStoreConfig& config);
+              const ObjectStoreConfig& config, gcs::LivenessView* liveness = nullptr);
   ~ObjectStore();
 
   ObjectStore(const ObjectStore&) = delete;
@@ -101,6 +105,11 @@ class ObjectStore {
   // runtime marks the node dead. In-flight pulls abort with kNodeDead.
   void CrashClear();
 
+  // Failure-detector notification: `node` was declared dead. Forwards to the
+  // pull manager so transfers sourced from it fail over immediately. Cheap;
+  // safe to call from a death callback.
+  void OnPeerDeath(const NodeId& node);
+
   size_t UsedBytes() const;
   size_t NumObjects() const;
   const NodeId& node() const { return node_; }
@@ -126,6 +135,7 @@ class ObjectStore {
   gcs::GcsTables* tables_;
   SimNetwork* net_;
   ObjectStoreConfig config_;
+  gcs::LivenessView* liveness_;  // may be null: assume-alive
   PeerResolver peer_resolver_;
 
   // Reader-writer lock: ContainsLocal is on the task-submission hot path

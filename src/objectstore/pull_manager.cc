@@ -11,13 +11,14 @@ namespace ray {
 
 PullManager::PullManager(const NodeId& node, gcs::GcsTables* tables, SimNetwork* net,
                          ObjectStore* store, ThreadPool* copy_pool,
-                         const PullManagerConfig& config)
+                         const PullManagerConfig& config, gcs::LivenessView* liveness)
     : node_(node),
       tables_(tables),
       net_(net),
       store_(store),
       copy_pool_(copy_pool),
-      config_(config) {
+      config_(config),
+      liveness_(liveness) {
   loop_thread_ = std::thread([this] { Loop(); });
 }
 
@@ -127,6 +128,15 @@ void PullManager::AbortAll(const Status& status) {
   }
 }
 
+void PullManager::OnNodeDeath(const NodeId& node) {
+  // Push on a closed queue is a safe no-op: after shutdown every in-flight
+  // pull has already been failed by AbortAll.
+  Event ev;
+  ev.death = true;
+  ev.dead_node = node;
+  queue_.Push(std::move(ev));
+}
+
 void PullManager::Shutdown() {
   bool expected = false;
   if (!shutdown_.compare_exchange_strong(expected, true)) {
@@ -141,6 +151,10 @@ void PullManager::Shutdown() {
 
 void PullManager::Loop() {
   while (auto ev = queue_.Pop()) {
+    if (ev->death) {
+      HandleNodeDeath(ev->dead_node);
+      continue;
+    }
     EntryPtr e;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -193,7 +207,12 @@ bool PullManager::StartFromSource(const EntryPtr& e, Status* fail) {
   }
   candidates.insert(candidates.end(), entry->locations.begin(), entry->locations.end());
   for (const NodeId& cand : candidates) {
-    if (cand == node_ || e->tried.count(cand) > 0 || net_->IsDead(cand)) {
+    if (cand == node_ || e->tried.count(cand) > 0 ||
+        (liveness_ != nullptr && liveness_->IsDead(cand))) {
+      // Liveness is the *detected* view: a freshly-crashed node looks alive
+      // for up to one detection window, in which case the transfer attempt
+      // fails on the wire and the failover path lands back here with the
+      // node in `tried`.
       continue;
     }
     ObjectStore* peer = store_->Peer(cand);
@@ -250,6 +269,32 @@ void PullManager::KickChunk(const EntryPtr& e) {
   // have missed this token; re-check and release the wire ourselves.
   if (e->aborted.load(std::memory_order_acquire)) {
     net_->CancelTransfer(token);
+  }
+}
+
+void PullManager::HandleNodeDeath(const NodeId& node) {
+  // Runs on the loop thread, so entry state is stable. Collect first: the
+  // failover below mutates entries_.
+  std::vector<EntryPtr> affected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, e] : entries_) {
+      if (e->started && e->src == node && !e->aborted.load(std::memory_order_acquire)) {
+        affected.push_back(e);
+      }
+    }
+  }
+  for (auto& e : affected) {
+    uint64_t net_token = e->net_token.load(std::memory_order_acquire);
+    if (net_token != 0 && net_->CancelTransfer(net_token)) {
+      // Transfer was still pending: its completion callback will never fire,
+      // so synthesize the failure here and fail over immediately — resuming
+      // at the in-flight chunk.
+      HandleChunkDone(e, Status::NodeDead("source declared dead by failure detector"));
+    }
+    // else: the completion already fired (its event is queued behind us);
+    // the wire-level death check carried kNodeDead and the normal failover
+    // path handles it.
   }
 }
 

@@ -39,6 +39,7 @@
 #include "common/queue.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "gcs/monitor.h"
 #include "gcs/tables.h"
 #include "net/sim_network.h"
 
@@ -63,8 +64,12 @@ class PullManager {
   // pull-loop thread — must not block for long; enqueue heavy work elsewhere.
   using Callback = std::function<void(Status)>;
 
+  // `liveness` is the detector-backed view used to filter pull sources; null
+  // (standalone stores in tests) means assume-alive — wire failures still
+  // drive failover, just without the proactive skip.
   PullManager(const NodeId& node, gcs::GcsTables* tables, SimNetwork* net, ObjectStore* store,
-              ThreadPool* copy_pool, const PullManagerConfig& config);
+              ThreadPool* copy_pool, const PullManagerConfig& config,
+              gcs::LivenessView* liveness = nullptr);
   ~PullManager();
 
   PullManager(const PullManager&) = delete;
@@ -84,6 +89,13 @@ class PullManager {
   // Fails every in-flight pull with `status` (node crash: the store's
   // contents — and any half-assembled pulls — vanish).
   void AbortAll(const Status& status);
+
+  // Failure-detector notification: `node` was declared dead. Cancels any
+  // transfer currently sourced from it and fails over to surviving replicas
+  // immediately, instead of waiting out the simulated wire time of a transfer
+  // that can only end in kNodeDead. Cheap (one queue push); safe from death
+  // callbacks.
+  void OnNodeDeath(const NodeId& node);
 
   // Stops the pull loop and fails remaining waiters with kUnavailable.
   // Idempotent; called by ~PullManager.
@@ -136,11 +148,16 @@ class PullManager {
     uint64_t epoch = 0;
     Status status;
     bool start = false;
+    // Node-death notification (id is nil): every in-flight pull sourced from
+    // dead_node fails over on the loop thread.
+    bool death = false;
+    NodeId dead_node;
   };
 
   void Loop();
   void HandleStart(const EntryPtr& e);
   void HandleChunkDone(const EntryPtr& e, const Status& status);
+  void HandleNodeDeath(const NodeId& node);
   // Picks the next live untried source and kicks the current chunk; returns
   // false (with `fail` set) when no source can serve the object.
   bool StartFromSource(const EntryPtr& e, Status* fail);
@@ -154,6 +171,7 @@ class PullManager {
   ObjectStore* store_;
   ThreadPool* copy_pool_;
   PullManagerConfig config_;
+  gcs::LivenessView* liveness_;  // may be null: assume-alive
 
   std::mutex mu_;
   std::condition_variable cv_;  // CancelWaiter barrier on dispatching_token_

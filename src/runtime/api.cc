@@ -67,7 +67,7 @@ Result<BufferPtr> Ray::GetBuffer(const ObjectId& id, int64_t timeout_us) {
     bool live_copy = false;
     if (entry.ok()) {
       for (const NodeId& loc : entry->locations) {
-        if (!cluster_->net().IsDead(loc)) {
+        if (cluster_->liveness().IsAlive(loc)) {
           live_copy = true;
           break;
         }
@@ -109,7 +109,7 @@ std::vector<size_t> Ray::Wait(const std::vector<ObjectId>& ids, size_t num_ready
         auto entry = cluster_->tables().objects.GetLocations(ids[i]);
         if (entry.ok()) {
           for (const NodeId& loc : entry->locations) {
-            if (!cluster_->net().IsDead(loc)) {
+            if (cluster_->liveness().IsAlive(loc)) {
               available = true;
               break;
             }

@@ -1,5 +1,7 @@
 #include "runtime/cluster.h"
 
+#include <algorithm>
+#include <chrono>
 #include <deque>
 
 #include "common/clock.h"
@@ -20,14 +22,18 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   gcs_->AddFlushablePrefix("task:");
   tables_ = std::make_unique<gcs::GcsTables>(gcs_.get());
   net_ = std::make_unique<SimNetwork>(config_.net);
+  liveness_ = std::make_unique<gcs::LivenessView>(tables_.get());
   global_ = std::make_unique<GlobalSchedulerPool>(config_.num_global_schedulers, tables_.get(),
-                                                  net_.get(), &registry_, config_.global);
+                                                  net_.get(), &registry_, config_.global,
+                                                  liveness_.get());
+  recovery_pool_ = std::make_unique<ThreadPool>(2);
   if (config_.build_task_graph) {
     task_graph_ = std::make_unique<TaskGraph>();
   }
   rt_.cluster = this;
   rt_.gcs = gcs_.get();
   rt_.tables = tables_.get();
+  rt_.liveness = liveness_.get();
   rt_.net = net_.get();
   rt_.registry = &registry_;
   rt_.global = global_.get();
@@ -36,12 +42,32 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   rt_.reconstruct_object = [this](const ObjectId& object) { ReconstructObject(object); };
   rt_.actor_checkpoint_interval = config_.actor_checkpoint_interval;
 
+  death_cb_token_ = liveness_->AddDeathCallback([this](const NodeId& n) { OnNodeDeath(n); });
+
   for (int i = 0; i < config_.num_nodes; ++i) {
     AddNodeInternal(config_.scheduler);
   }
+
+  // The monitor starts last: a node it has never observed gets a full
+  // detection window of grace, so startup order cannot cause false deaths.
+  gcs::MonitorConfig mcfg = config_.monitor;
+  if (mcfg.heartbeat_interval_us <= 0) {
+    mcfg.heartbeat_interval_us = config_.scheduler.heartbeat_interval_us;
+  }
+  monitor_ = std::make_unique<gcs::GcsMonitor>(tables_.get(), mcfg);
 }
 
 Cluster::~Cluster() {
+  // Stop declaring deaths before nodes stop heartbeating — graceful shutdown
+  // must not be misread as mass node failure.
+  monitor_->Stop();
+  shutting_down_.store(true, std::memory_order_release);
+  liveness_->RemoveDeathCallback(death_cb_token_);
+  // An already-running death callback may still be mid-flight on a publish
+  // worker; drain before touching node state it walks.
+  gcs_->DrainPublishes();
+  recovery_pool_->Shutdown();
+  BumpClusterEvent();  // wake any routing/recovery backoff so it sees shutdown
   std::lock_guard<std::mutex> lock(nodes_mu_);
   nodes_.clear();  // Node destructors drain gracefully
 }
@@ -49,20 +75,23 @@ Cluster::~Cluster() {
 NodeId Cluster::AddNodeInternal(const LocalSchedulerConfig& scheduler_config) {
   auto node = std::make_unique<Node>(&rt_, scheduler_config, config_.store);
   NodeId id = node->id();
+  Node* raw = node.get();
   {
+    // Single lock acquisition: push and capture together, so a concurrent
+    // AddNode cannot slip its node in between (the old two-step re-read of
+    // nodes_.back() could start the *other* thread's node twice and leave
+    // ours without a peer resolver).
     std::lock_guard<std::mutex> lock(nodes_mu_);
     nodes_.push_back(std::move(node));
   }
-  Node* raw;
-  {
-    std::lock_guard<std::mutex> lock(nodes_mu_);
-    raw = nodes_.back().get();
-  }
-  raw->Start();
+  // Resolver before Start(): once Start registers the node, peers may
+  // immediately try to pull from it.
   raw->store().SetPeerResolver([this](const NodeId& peer) {
     Node* n = FindNode(peer);
     return n != nullptr && n->IsAlive() ? &n->store() : nullptr;
   });
+  raw->Start();
+  BumpClusterEvent();  // a rejoin is also an event routing waits care about
   return id;
 }
 
@@ -104,9 +133,72 @@ void Cluster::KillNode(const NodeId& id) {
   }
 }
 
+void Cluster::OnNodeDeath(const NodeId& node) {
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    return;
+  }
+  RAY_LOG(INFO) << "cluster: handling declared death of node " << ToShortString(node);
+  BumpClusterEvent();
+  {
+    // Runs on a GCS publish worker; everything under the lock is a cheap
+    // enqueue (queue push / pool submit), never blocking work.
+    std::lock_guard<std::mutex> lock(nodes_mu_);
+    for (const auto& n : nodes_) {
+      if (n->IsAlive() && n->id() != node) {
+        n->store().OnPeerDeath(node);
+        n->scheduler().OnPeerDeath(node);
+      }
+    }
+  }
+  // Proactive actor recovery off-thread (RecoverActor blocks on relocation).
+  // Submit after pool shutdown is a safe no-op.
+  recovery_pool_->Submit([this, node] { RecoverActorsOn(node); });
+}
+
+void Cluster::RecoverActorsOn(const NodeId& node) {
+  std::vector<ActorId> actors;
+  {
+    std::lock_guard<std::mutex> lock(known_actors_mu_);
+    actors.assign(known_actors_.begin(), known_actors_.end());
+  }
+  for (const ActorId& actor : actors) {
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      return;
+    }
+    auto loc = tables_->actors.GetLocation(actor);
+    if (loc.ok() && *loc == node) {
+      RecoverActor(actor);
+    }
+  }
+}
+
+void Cluster::BumpClusterEvent() {
+  {
+    std::lock_guard<std::mutex> lock(event_mu_);
+    ++event_epoch_;
+  }
+  event_cv_.notify_all();
+}
+
+uint64_t Cluster::ClusterEventEpoch() {
+  std::lock_guard<std::mutex> lock(event_mu_);
+  return event_epoch_;
+}
+
+uint64_t Cluster::WaitForClusterEvent(uint64_t seen, int64_t max_wait_us) {
+  std::unique_lock<std::mutex> lock(event_mu_);
+  event_cv_.wait_for(lock, std::chrono::microseconds(max_wait_us),
+                     [&] { return event_epoch_ != seen; });
+  return event_epoch_;
+}
+
 void Cluster::RecordLineage(const TaskSpec& spec, const NodeId& submitter) {
   tables_->tasks.AddTask(spec.id, spec.Serialize());
   tables_->tasks.SetState(spec.id, gcs::TaskState::kPending, submitter);
+  if (spec.IsActorCreation()) {
+    std::lock_guard<std::mutex> lock(known_actors_mu_);
+    known_actors_.insert(spec.actor);
+  }
   for (uint32_t i = 0; i < spec.num_returns; ++i) {
     tables_->objects.RecordCreatingTask(spec.ReturnId(i), spec.id);
   }
@@ -138,28 +230,50 @@ Status Cluster::SubmitTask(const TaskSpec& spec, const NodeId& from) {
 }
 
 Status Cluster::RouteActorTask(const TaskSpec& spec, const NodeId& from) {
+  // Location publishes (creation / recovery landing) bump the cluster-event
+  // epoch, so the backoff wait below wakes the moment the actor relocates
+  // instead of polling on a fixed cadence.
+  uint64_t sub_token = tables_->actors.SubscribeLocation(
+      spec.actor, [this](const NodeId&) { BumpClusterEvent(); });
+  auto finish = [&](Status s) {
+    tables_->actors.UnsubscribeLocation(spec.actor, sub_token);
+    return s;
+  };
   int64_t deadline = NowMicros() + kActorRouteTimeoutUs;
+  int64_t backoff_us = 200;
   while (NowMicros() < deadline) {
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      return finish(Status::Unavailable("cluster shutting down"));
+    }
+    uint64_t epoch = ClusterEventEpoch();
     auto loc = tables_->actors.GetLocation(spec.actor);
     if (loc.ok()) {
-      if (net_->IsDead(*loc) || registry_.Lookup(*loc) == nullptr) {
+      if (liveness_->IsDead(*loc) || registry_.Lookup(*loc) == nullptr) {
+        // Dead (or unregistered) home: kick recovery. If another thread is
+        // already recovering, this returns immediately and the event wait
+        // below paces the retry until the relocation publish wakes us.
         RecoverActor(spec.actor);
       } else {
         // Charged as a scheduler hop so injected scheduling latency
-        // (Fig. 12b ablation) applies to every method submission.
-        RAY_RETURN_NOT_OK(net_->SchedulerHop(from, *loc));
-        LocalScheduler* target = registry_.Lookup(*loc);
-        if (target == nullptr) {
-          continue;  // died in the window; retry
+        // (Fig. 12b ablation) applies to every method submission. A failed
+        // hop (chaos drop, target died mid-flight) is retryable, not fatal.
+        Status hop = net_->SchedulerHop(from, *loc);
+        if (hop.ok()) {
+          LocalScheduler* target = registry_.Lookup(*loc);
+          if (target != nullptr) {
+            target->SubmitPlaced(spec);
+            return finish(Status::Ok());
+          }
         }
-        target->SubmitPlaced(spec);
-        return Status::Ok();
       }
     }
-    // Creation or recovery still in flight.
-    SleepMicros(500);
+    // Creation or recovery still in flight (or a transient failure above):
+    // wait for the next cluster event, with capped-exponential backoff as
+    // the fallback cadence.
+    WaitForClusterEvent(epoch, backoff_us);
+    backoff_us = std::min<int64_t>(backoff_us * 2, 10'000);
   }
-  return Status::TimedOut("actor has no live location");
+  return finish(Status::TimedOut("actor has no live location"));
 }
 
 void Cluster::ReconstructObject(const ObjectId& object) {
@@ -219,7 +333,7 @@ void Cluster::ReconstructObject(const ObjectId& object) {
     auto state = tables_->tasks.GetState(spec.id);
     if (state.ok()) {
       auto [st, node] = *state;
-      bool node_alive = !net_->IsDead(node) && registry_.Lookup(node) != nullptr;
+      bool node_alive = liveness_->IsAlive(node) && registry_.Lookup(node) != nullptr;
       if ((st == gcs::TaskState::kPending || st == gcs::TaskState::kRunning) && node_alive) {
         resubmit = false;  // already in flight somewhere healthy
       }
@@ -233,7 +347,7 @@ void Cluster::ReconstructObject(const ObjectId& object) {
       bool live_copy = false;
       if (entry.ok()) {
         for (const NodeId& loc : entry->locations) {
-          if (!net_->IsDead(loc)) {
+          if (liveness_->IsAlive(loc)) {
             live_copy = true;
             break;
           }
@@ -315,7 +429,7 @@ void Cluster::RecoverActor(const ActorId& actor) {
     cleanup();
     return;
   }
-  if (!net_->IsDead(*loc) && registry_.Lookup(*loc) != nullptr) {
+  if (liveness_->IsAlive(*loc) && registry_.Lookup(*loc) != nullptr) {
     cleanup();
     return;  // already healthy (recovered by someone else)
   }
@@ -334,30 +448,63 @@ void Cluster::RecoverActor(const ActorId& actor) {
   RAY_LOG(INFO) << "recovering actor " << ToShortString(actor) << " from checkpoint index "
                 << checkpoint_index;
 
+  // Subscribe before scheduling the creation: the relocation publish bumps
+  // the event epoch, waking the wait below the moment the new node seals the
+  // actor's location (no fixed-cadence polling).
+  uint64_t sub_token =
+      tables_->actors.SubscribeLocation(actor, [this](const NodeId&) { BumpClusterEvent(); });
+
   // Re-run the creation task; it restores the checkpoint and re-seals the
   // cursor at checkpoint_index on the new node.
   Status s = global_->Schedule(creation, NodeId());
   if (!s.ok()) {
     RAY_LOG(ERROR) << "actor recovery placement failed: " << s.ToString();
+    tables_->actors.UnsubscribeLocation(actor, sub_token);
     cleanup();
     return;
   }
   // Wait for the new location to become live.
   NodeId new_node;
   int64_t deadline = NowMicros() + kActorRecoveryTimeoutUs;
+  int64_t backoff_us = 200;
+  int64_t last_place_us = NowMicros();
   for (;;) {
+    uint64_t epoch = ClusterEventEpoch();
     auto nloc = tables_->actors.GetLocation(actor);
-    if (nloc.ok() && !net_->IsDead(*nloc) && registry_.Lookup(*nloc) != nullptr) {
+    if (nloc.ok() && liveness_->IsAlive(*nloc) && registry_.Lookup(*nloc) != nullptr) {
       new_node = *nloc;
       break;
     }
-    if (NowMicros() > deadline) {
+    if (NowMicros() > deadline || shutting_down_.load(std::memory_order_acquire)) {
       RAY_LOG(ERROR) << "actor recovery timed out waiting for relocation";
+      tables_->actors.UnsubscribeLocation(actor, sub_token);
       cleanup();
       return;
     }
-    SleepMicros(500);
+    // Double failure: the re-run creation — or the fresh instance it just
+    // sealed — can die before this wait observes a live location. No publish
+    // will ever wake it, and this thread holds the recovery guard, so nobody
+    // else can re-place. Place the creation again unless it is currently in
+    // flight on a healthy node (paced: the state record lags a fresh
+    // placement until the target dispatches it, and doubling up would spawn
+    // a second instance).
+    if (NowMicros() - last_place_us > 100'000) {
+      auto st = tables_->tasks.GetState(creation.id);
+      bool in_flight_healthy =
+          st.ok() &&
+          (st->first == gcs::TaskState::kPending || st->first == gcs::TaskState::kRunning) &&
+          liveness_->IsAlive(st->second) && registry_.Lookup(st->second) != nullptr;
+      if (!in_flight_healthy) {
+        RAY_LOG(WARNING) << "actor recovery: creation for " << ToShortString(actor)
+                         << " died with its node; re-placing";
+        (void)global_->Schedule(creation, NodeId());  // failure: next pass retries
+        last_place_us = NowMicros();
+      }
+    }
+    WaitForClusterEvent(epoch, backoff_us);
+    backoff_us = std::min<int64_t>(backoff_us * 2, 10'000);
   }
+  tables_->actors.UnsubscribeLocation(actor, sub_token);
 
   // Replay the method log past the checkpoint (Fig. 11b).
   LocalScheduler* target = registry_.Lookup(new_node);

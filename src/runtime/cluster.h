@@ -7,12 +7,16 @@
 #ifndef RAY_RUNTIME_CLUSTER_H_
 #define RAY_RUNTIME_CLUSTER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "gcs/gcs.h"
+#include "gcs/monitor.h"
 #include "gcs/tables.h"
 #include "net/sim_network.h"
 #include "runtime/context.h"
@@ -29,6 +33,9 @@ struct ClusterConfig {
   gcs::GcsConfig gcs;
   NetConfig net;
   GlobalSchedulerConfig global;
+  // Failure detector. heartbeat_interval_us == 0 inherits
+  // scheduler.heartbeat_interval_us so detector and reporters never drift.
+  gcs::MonitorConfig monitor;
   int num_global_schedulers = 1;
   uint64_t actor_checkpoint_interval = 0;
   // Mirror every submitted task into an in-memory TaskGraph (debug tooling;
@@ -109,6 +116,10 @@ class Cluster {
   gcs::Gcs& gcs() { return *gcs_; }
   gcs::GcsTables& tables() { return *tables_; }
   SimNetwork& net() { return *net_; }
+  // Detected liveness — the only source runtime code consults for failure
+  // decisions (the network's IsDead stays wire-internal).
+  gcs::LivenessView& liveness() { return *liveness_; }
+  gcs::GcsMonitor& monitor() { return *monitor_; }
   GlobalSchedulerPool& global_scheduler() { return *global_; }
   LocalSchedulerRegistry& registry() { return registry_; }
   FunctionRegistry& functions() { return functions_; }
@@ -123,14 +134,31 @@ class Cluster {
   Status RouteActorTask(const TaskSpec& spec, const NodeId& from);
   void RecordLineage(const TaskSpec& spec, const NodeId& submitter);
 
+  // Death-callback fan-out (runs on a GCS publish worker, so everything it
+  // does is a cheap enqueue): nudge every surviving node's store/scheduler
+  // and queue actor recovery for the dead node's residents.
+  void OnNodeDeath(const NodeId& node);
+  void RecoverActorsOn(const NodeId& node);  // runs on recovery_pool_
+
+  // Cluster-event epoch: bumped by death notifications and actor-location
+  // publishes so routing/recovery waits wake immediately instead of polling.
+  void BumpClusterEvent();
+  uint64_t ClusterEventEpoch();
+  // Waits until the epoch moves past `seen` or `max_wait_us` elapses;
+  // returns the current epoch.
+  uint64_t WaitForClusterEvent(uint64_t seen, int64_t max_wait_us);
+
   ClusterConfig config_;
   std::unique_ptr<gcs::Gcs> gcs_;
   std::unique_ptr<gcs::GcsTables> tables_;
   std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<gcs::LivenessView> liveness_;
+  std::unique_ptr<gcs::GcsMonitor> monitor_;
   LocalSchedulerRegistry registry_;
   FunctionRegistry functions_;
   ActorRegistry actor_classes_;
   std::unique_ptr<GlobalSchedulerPool> global_;
+  std::unique_ptr<ThreadPool> recovery_pool_;
   RuntimeContext rt_;
   std::unique_ptr<TaskGraph> task_graph_;
 
@@ -142,6 +170,19 @@ class Cluster {
 
   std::mutex actor_recovery_mu_;
   std::unordered_set<ActorId> actors_recovering_;
+
+  std::atomic<bool> shutting_down_{false};
+  uint64_t death_cb_token_ = 0;
+
+  std::mutex event_mu_;
+  std::condition_variable event_cv_;
+  uint64_t event_epoch_ = 0;
+
+  // Every actor ever created, so a death notification can proactively
+  // recover the dead node's residents (instead of waiting for the next
+  // method submission to trip over the corpse).
+  std::mutex known_actors_mu_;
+  std::unordered_set<ActorId> known_actors_;
 };
 
 }  // namespace ray

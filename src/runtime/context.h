@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "common/id.h"
+#include "gcs/monitor.h"
 #include "gcs/tables.h"
 #include "net/sim_network.h"
 #include "runtime/function_registry.h"
@@ -21,6 +22,9 @@ struct RuntimeContext {
   Cluster* cluster = nullptr;
   gcs::Gcs* gcs = nullptr;
   gcs::GcsTables* tables = nullptr;
+  // Detected liveness (subscription-backed); the only source components may
+  // consult for failure decisions — the network's IsDead stays wire-internal.
+  gcs::LivenessView* liveness = nullptr;
   SimNetwork* net = nullptr;
   LocalSchedulerRegistry* registry = nullptr;
   GlobalSchedulerPool* global = nullptr;

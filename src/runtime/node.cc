@@ -2,7 +2,6 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
-#include "common/serialization.h"
 #include "trace/trace.h"
 
 namespace ray {
@@ -30,9 +29,9 @@ void SetCurrentExecutionContext(const ExecutionContext* ctx) { g_execution_conte
 Node::Node(const RuntimeContext* rt, const LocalSchedulerConfig& scheduler_config,
            const ObjectStoreConfig& store_config)
     : rt_(rt), id_(NodeId::FromRandom()) {
-  store_ = std::make_unique<ObjectStore>(id_, rt_->tables, rt_->net, store_config);
-  scheduler_ = std::make_unique<LocalScheduler>(id_, rt_->tables, rt_->net, store_.get(), rt_->global,
-                                                scheduler_config);
+  store_ = std::make_unique<ObjectStore>(id_, rt_->tables, rt_->net, store_config, rt_->liveness);
+  scheduler_ = std::make_unique<LocalScheduler>(id_, rt_->tables, rt_->net, store_.get(),
+                                                rt_->global, scheduler_config, rt_->liveness);
 }
 
 Node::~Node() {
@@ -66,20 +65,13 @@ void Node::Kill() {
   if (!alive_.compare_exchange_strong(expected, false)) {
     return;
   }
-  // Order matters: cut the network first so in-flight transfers fail, then
-  // advertise death, then tear down local components.
+  // Crash semantics: the wire goes dark and the process stops — nothing
+  // more. The node does NOT mark itself dead in the GCS (a crashed process
+  // reports nothing); death becomes visible only when the GCS monitor
+  // notices the heartbeat sequence has stopped advancing, which is also what
+  // writes the durable node-death event. Removing the registry entry models
+  // connection-refused for control RPCs that race the crash.
   rt_->net->SetNodeDead(id_, true);
-  rt_->tables->nodes.MarkDead(id_);
-  // Node death is rare and must survive the process, so it goes to the
-  // durable GCS event log (Profiler wire format) — not the in-memory tracer.
-  {
-    int64_t now = NowMicros();
-    Writer w;
-    Put(w, std::string("node-death:") + ToShortString(id_));
-    w.WritePod<int64_t>(now);
-    w.WritePod<int64_t>(now);
-    rt_->tables->events.Append("cluster", w.Finish()->ToString());
-  }
   rt_->registry->Remove(id_);
   scheduler_->Shutdown();
   {

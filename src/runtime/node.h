@@ -34,8 +34,10 @@ class Node {
 
   void Start();
 
-  // Simulates node failure: in-memory store contents vanish, queued and
-  // running work stops, and the node is marked dead in the GCS and network.
+  // Simulates node failure (crash-stop): the wire goes dark, in-memory store
+  // contents vanish, and queued/running work stops. The node never
+  // self-reports death — the GCS monitor detects the missing heartbeats and
+  // marks it dead after the configured threshold.
   void Kill();
 
   bool IsAlive() const { return alive_.load(std::memory_order_acquire); }

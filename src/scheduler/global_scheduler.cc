@@ -1,10 +1,11 @@
 #include "scheduler/global_scheduler.h"
 
+#include <algorithm>
 #include <limits>
 
-#include "common/random.h"
-
+#include "common/clock.h"
 #include "common/logging.h"
+#include "common/random.h"
 #include "scheduler/local_scheduler.h"
 
 namespace ray {
@@ -20,8 +21,14 @@ ResourceSet EffectiveDemand(const TaskSpec& spec) {
 }
 
 GlobalScheduler::GlobalScheduler(gcs::GcsTables* tables, SimNetwork* net,
-                                 LocalSchedulerRegistry* registry, const GlobalSchedulerConfig& config)
-    : id_(NodeId::FromRandom()), tables_(tables), net_(net), registry_(registry), config_(config) {}
+                                 LocalSchedulerRegistry* registry,
+                                 const GlobalSchedulerConfig& config, gcs::LivenessView* liveness)
+    : id_(NodeId::FromRandom()),
+      tables_(tables),
+      net_(net),
+      registry_(registry),
+      config_(config),
+      liveness_(liveness) {}
 
 double GlobalScheduler::EstimateWait(const gcs::Heartbeat& hb, const TaskSpec& spec,
                                      const NodeId& node) const {
@@ -72,6 +79,9 @@ Result<NodeId> GlobalScheduler::Place(const TaskSpec& spec) const {
     }
   };
   for (const NodeId& node : tables_->nodes.GetAlive()) {
+    if (liveness_ != nullptr && liveness_->IsDead(node)) {
+      continue;  // declared dead; the Node Table read may be a step behind
+    }
     auto hb = tables_->nodes.GetHeartbeat(node);
     if (!hb.ok()) {
       continue;
@@ -96,7 +106,7 @@ Result<NodeId> GlobalScheduler::Place(const TaskSpec& spec) const {
   return ties[static_cast<size_t>(tie_rng.UniformInt(0, static_cast<int64_t>(ties.size()) - 1))];
 }
 
-Status GlobalScheduler::Schedule(const TaskSpec& spec, const NodeId& from) {
+Status GlobalScheduler::ScheduleOnce(const TaskSpec& spec, const NodeId& from) {
   trace::Span span(trace::Stage::kForward, spec.id, ObjectId(), from);
   auto target = Place(spec);
   if (!target.ok()) {
@@ -116,12 +126,36 @@ Status GlobalScheduler::Schedule(const TaskSpec& spec, const NodeId& from) {
   return Status::Ok();
 }
 
+Status GlobalScheduler::Schedule(const TaskSpec& spec, const NodeId& from) {
+  // Every failure here is potentially transient: a chaos-dropped RPC, a
+  // target that died between Place and forward (re-placing picks another
+  // node), or kResourceExhausted during kill/rejoin churn when a fresh
+  // node's first heartbeat hasn't landed yet. Retry with backoff; the total
+  // window outlasts the default failure-detection bound so a post-crash
+  // retry sees the corpse removed from the candidate set.
+  Status s;
+  int64_t backoff = std::max<int64_t>(1, config_.schedule_backoff_us);
+  int attempts = std::max(1, config_.schedule_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      SleepMicros(backoff);
+      backoff = std::min(backoff * 2, config_.schedule_backoff_cap_us);
+    }
+    s = ScheduleOnce(spec, from);
+    if (s.ok()) {
+      return s;
+    }
+  }
+  return s;
+}
+
 GlobalSchedulerPool::GlobalSchedulerPool(int num_replicas, gcs::GcsTables* tables, SimNetwork* net,
                                          LocalSchedulerRegistry* registry,
-                                         const GlobalSchedulerConfig& config) {
+                                         const GlobalSchedulerConfig& config,
+                                         gcs::LivenessView* liveness) {
   RAY_CHECK(num_replicas >= 1);
   for (int i = 0; i < num_replicas; ++i) {
-    replicas_.push_back(std::make_unique<GlobalScheduler>(tables, net, registry, config));
+    replicas_.push_back(std::make_unique<GlobalScheduler>(tables, net, registry, config, liveness));
   }
 }
 

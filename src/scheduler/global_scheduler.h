@@ -16,6 +16,7 @@
 
 #include "common/id.h"
 #include "common/status.h"
+#include "gcs/monitor.h"
 #include "gcs/tables.h"
 #include "net/sim_network.h"
 #include "scheduler/registry.h"
@@ -29,15 +30,27 @@ struct GlobalSchedulerConfig {
   // Floor for per-task duration estimates before any data is observed.
   double default_task_duration_s = 0.005;
   double default_bandwidth_bytes_s = 1e9;
+  // Transient failures (chaos drops, a target dying between placement and
+  // forward, the brief no-candidate window while nodes churn) are retried
+  // with exponential backoff: 1ms doubling to 20ms, `schedule_attempts`
+  // tries total (~131ms — longer than the default failure-detection window,
+  // so a placement that failed because of a fresh death retries after the
+  // monitor has removed the corpse from the candidate set).
+  int schedule_attempts = 10;
+  int64_t schedule_backoff_us = 1'000;
+  int64_t schedule_backoff_cap_us = 20'000;
 };
 
 class GlobalScheduler {
  public:
+  // `liveness` (optional): failure-detector view used to skip declared-dead
+  // candidates during placement. Null means trust the Node Table alone.
   GlobalScheduler(gcs::GcsTables* tables, SimNetwork* net, LocalSchedulerRegistry* registry,
-                  const GlobalSchedulerConfig& config);
+                  const GlobalSchedulerConfig& config, gcs::LivenessView* liveness = nullptr);
 
   // Places `spec` on the best node and forwards it to that node's local
   // scheduler. `from` is the submitting node (for the network hop).
+  // Transient failures are retried (see GlobalSchedulerConfig).
   Status Schedule(const TaskSpec& spec, const NodeId& from);
 
   // Exposed for tests: the placement decision without the forwarding.
@@ -48,12 +61,14 @@ class GlobalScheduler {
 
  private:
   double EstimateWait(const gcs::Heartbeat& hb, const TaskSpec& spec, const NodeId& node) const;
+  Status ScheduleOnce(const TaskSpec& spec, const NodeId& from);
 
   NodeId id_;  // synthetic endpoint for latency accounting
   gcs::GcsTables* tables_;
   SimNetwork* net_;
   LocalSchedulerRegistry* registry_;
   GlobalSchedulerConfig config_;
+  gcs::LivenessView* liveness_;  // may be null
   std::atomic<uint64_t> num_scheduled_{0};
 };
 
@@ -61,7 +76,8 @@ class GlobalScheduler {
 class GlobalSchedulerPool {
  public:
   GlobalSchedulerPool(int num_replicas, gcs::GcsTables* tables, SimNetwork* net,
-                      LocalSchedulerRegistry* registry, const GlobalSchedulerConfig& config);
+                      LocalSchedulerRegistry* registry, const GlobalSchedulerConfig& config,
+                      gcs::LivenessView* liveness = nullptr);
 
   Status Schedule(const TaskSpec& spec, const NodeId& from);
   GlobalScheduler& replica(size_t i) { return *replicas_[i]; }

@@ -25,13 +25,14 @@ std::unique_lock<std::mutex> AcquireTimed(std::mutex& mu, Ema& wait_ema) {
 
 LocalScheduler::LocalScheduler(const NodeId& node, gcs::GcsTables* tables, SimNetwork* net,
                                ObjectStore* store, GlobalSchedulerPool* global,
-                               const LocalSchedulerConfig& config)
+                               const LocalSchedulerConfig& config, gcs::LivenessView* liveness)
     : node_(node),
       tables_(tables),
       net_(net),
       store_(store),
       global_(global),
       config_(config),
+      liveness_(liveness),
       available_(config.total_resources) {}
 
 LocalScheduler::~LocalScheduler() { Shutdown(); }
@@ -269,16 +270,22 @@ void LocalScheduler::HandlePullFailure(const ObjectId& object, const Status& sta
   bool any_alive = false;
   if (entry.ok()) {
     for (const NodeId& src : entry->locations) {
-      if (src != node_ && !net_->IsDead(src)) {
+      if (src != node_ && (liveness_ == nullptr || liveness_->IsAlive(src))) {
         any_alive = true;
         break;
       }
     }
   }
   if (any_alive) {
-    // A live replica appeared after the pull gave up (publish racing the
-    // failure): try again rather than waiting for the heartbeat retry.
-    FetchJob(object);
+    // A replica looks alive in the detected view: retry rather than waiting
+    // for the heartbeat tick. Pace the retry — inside the detection window a
+    // freshly-crashed replica still reads as alive here and fails instantly
+    // on the pull, and an unpaced loop would spin hot until the monitor
+    // declares the node dead.
+    SleepMicros(2'000);
+    if (!shutdown_.load(std::memory_order_relaxed)) {
+      FetchJob(object);
+    }
     return;
   }
   if (!entry.ok() || entry->locations.empty()) {
@@ -294,7 +301,7 @@ void LocalScheduler::HandlePullFailure(const ObjectId& object, const Status& sta
       auto [st, node] = *state;
       producer_healthy = (st == gcs::TaskState::kPending || st == gcs::TaskState::kRunning ||
                           st == gcs::TaskState::kDone) &&
-                         !net_->IsDead(node);
+                         (liveness_ == nullptr || liveness_->IsAlive(node));
     }
     if (producer_healthy) {
       return;
@@ -468,7 +475,30 @@ gcs::Heartbeat LocalScheduler::MakeHeartbeat() const {
 
 void LocalScheduler::ReportHeartbeat() {
   trace::Span span(trace::Stage::kHeartbeat, TaskId(), ObjectId(), node_);
-  tables_->nodes.ReportHeartbeat(node_, MakeHeartbeat());
+  gcs::Heartbeat hb = MakeHeartbeat();
+  // The advancing sequence number is what the failure detector watches; a
+  // crashed node stops bumping it and gets declared dead after the miss
+  // threshold.
+  hb.seq = heartbeat_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  tables_->nodes.ReportHeartbeat(node_, hb);
+}
+
+void LocalScheduler::OnPeerDeath(const NodeId& node) {
+  (void)node;  // any blocked object may have lost its last replica/producer
+  if (shutdown_.load(std::memory_order_relaxed) || !fetch_pool_) {
+    return;
+  }
+  std::vector<ObjectId> blocked;
+  {
+    std::lock_guard<std::mutex> lock(deps_mu_);
+    blocked.reserve(blocked_on_.size());
+    for (const auto& [object, tasks] : blocked_on_) {
+      blocked.push_back(object);
+    }
+  }
+  for (const ObjectId& object : blocked) {
+    fetch_pool_->Submit([this, object] { FetchJob(object); });
+  }
 }
 
 void LocalScheduler::HeartbeatLoop() {
@@ -478,7 +508,19 @@ void LocalScheduler::HeartbeatLoop() {
       return;
     }
     ReportHeartbeat();
-    RescueStrandedTasks();
+    // Rescue runs off-thread: re-forwarding to the global scheduler can block
+    // (it retries placement under churn), and a stalled heartbeat loop would
+    // get this node falsely declared dead. Single-flight: skip the tick if
+    // the previous rescue is still running rather than piling them up.
+    bool expected = false;
+    if (rescue_inflight_.compare_exchange_strong(expected, true)) {
+      if (!fetch_pool_->Submit([this] {
+            RescueStrandedTasks();
+            rescue_inflight_.store(false, std::memory_order_release);
+          })) {
+        rescue_inflight_.store(false, std::memory_order_release);
+      }
+    }
   }
 }
 

@@ -40,6 +40,7 @@
 #include "common/queue.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "gcs/monitor.h"
 #include "gcs/tables.h"
 #include "net/sim_network.h"
 #include "objectstore/object_store.h"
@@ -78,8 +79,12 @@ class LocalScheduler {
   // on a dead node — the runtime triggers lineage reconstruction.
   using ObjectUnreachableHandler = std::function<void(const ObjectId&)>;
 
+  // `liveness` (optional) is the failure detector's view, used when deciding
+  // whether a missing object's replicas/producer are gone for good. Null
+  // means assume-alive (standalone schedulers in tests).
   LocalScheduler(const NodeId& node, gcs::GcsTables* tables, SimNetwork* net, ObjectStore* store,
-                 GlobalSchedulerPool* global, const LocalSchedulerConfig& config);
+                 GlobalSchedulerPool* global, const LocalSchedulerConfig& config,
+                 gcs::LivenessView* liveness = nullptr);
   ~LocalScheduler();
 
   LocalScheduler(const LocalScheduler&) = delete;
@@ -105,6 +110,12 @@ class LocalScheduler {
 
   // Publishes a heartbeat right now (also called periodically).
   void ReportHeartbeat();
+
+  // Failure-detector notification: `node` was declared dead. Re-kicks the
+  // fetch of every object this node is blocked on, so lost-replica /
+  // lost-producer detection runs now instead of at the next heartbeat tick.
+  // Cheap (pool submits); safe to call from a death callback.
+  void OnPeerDeath(const NodeId& node);
 
  private:
   struct PendingTask {
@@ -144,6 +155,7 @@ class LocalScheduler {
   ObjectStore* store_;
   GlobalSchedulerPool* global_;
   LocalSchedulerConfig config_;
+  gcs::LivenessView* liveness_;  // may be null: assume-alive
 
   Executor executor_;
   ActorDispatcher actor_dispatcher_;
@@ -184,6 +196,12 @@ class LocalScheduler {
   std::unique_ptr<ThreadPool> fetch_pool_;
   std::thread heartbeat_thread_;
   std::atomic<bool> shutdown_{false};
+  std::atomic<bool> rescue_inflight_{false};
+
+  // Monotonic heartbeat sequence; the GCS monitor declares this node dead
+  // when it stops advancing (crashed nodes stop reporting, Node::Kill never
+  // self-reports death).
+  std::atomic<uint64_t> heartbeat_seq_{0};
 
   Ema task_duration_ema_{0.3};
   Ema bandwidth_ema_{0.3};

@@ -198,7 +198,9 @@ std::vector<TaskTimelineEntry> Profiler::TaskStates(const std::vector<TaskId>& t
 }
 
 bool ErrorDiagnoser::NodeAlive(const NodeId& node) const {
-  return !cluster_->net().IsDead(node) && cluster_->registry().Lookup(node) != nullptr;
+  // Detected liveness, same as the runtime's own failure decisions — the
+  // diagnosis should match what the system actually believed.
+  return cluster_->liveness().IsAlive(node) && cluster_->registry().Lookup(node) != nullptr;
 }
 
 Diagnosis ErrorDiagnoser::Examine(const std::vector<TaskId>& tasks,
