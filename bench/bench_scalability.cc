@@ -9,11 +9,11 @@
 // global scheduler (bottom-up off), and GCS shard count. Results land in
 // BENCH_scalability.json (throughput, submit-latency percentiles, config).
 #include <cstdio>
-#include <mutex>
 #include <thread>
 
 #include "bench/bench_util.h"
 #include "common/clock.h"
+#include "common/sync.h"
 #include "runtime/api.h"
 
 namespace ray {
@@ -51,7 +51,7 @@ RunResult RunThroughput(int num_nodes, int tasks_per_node, int task_ms, bool alw
 
   // One driver per node submits its share bottom-up (the paper's drivers
   // run on every node; nested submission achieves the same distribution).
-  std::mutex lat_mu;
+  Mutex lat_mu{"bench_scalability.lat_mu"};
   std::vector<double> submit_lat_us;
   submit_lat_us.reserve(static_cast<size_t>(num_nodes) * tasks_per_node);
   Timer timer;
@@ -72,7 +72,7 @@ RunResult RunThroughput(int num_nodes, int tasks_per_node, int task_ms, bool alw
         auto r = ray.Get(ref, 300'000'000);
         RAY_CHECK(r.ok()) << r.status().ToString();
       }
-      std::lock_guard<std::mutex> lock(lat_mu);
+      MutexLock lock(lat_mu);
       submit_lat_us.insert(submit_lat_us.end(), lat.begin(), lat.end());
     });
   }

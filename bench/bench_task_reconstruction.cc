@@ -6,19 +6,19 @@
 // the work), then recovers to the original level once capacity returns.
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 
 #include "bench/bench_util.h"
 #include "common/clock.h"
+#include "common/sync.h"
 #include "runtime/api.h"
 
 namespace ray {
 namespace {
 
 std::atomic<uint64_t> g_executions{0};
-std::mutex g_seen_mu;
+Mutex g_seen_mu{"bench_task_reconstruction.g_seen_mu"};
 std::unordered_set<TaskId> g_seen;
 std::atomic<uint64_t> g_reexecutions{0};
 
@@ -26,7 +26,7 @@ int ChainStep(int step_ms, int value) {
   SleepMicros(static_cast<int64_t>(step_ms) * 1000);
   const ExecutionContext* ctx = CurrentExecutionContext();
   if (ctx != nullptr) {
-    std::lock_guard<std::mutex> lock(g_seen_mu);
+    MutexLock lock(g_seen_mu);
     if (!g_seen.insert(ctx->current_task).second) {
       g_reexecutions.fetch_add(1);
     }

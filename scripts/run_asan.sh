@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# AddressSanitizer + UndefinedBehaviorSanitizer gate, mirroring run_tsan.sh.
+# -fno-sanitize-recover=all turns every UBSan diagnostic into a hard failure,
+# so a passing run means zero reports, not "reports were printed".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j"$(nproc)" \
+  --target gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test \
+  chaos_test
+
+export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+for t in gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test; do
+  echo "== ASan/UBSan: $t =="
+  ./build-asan/tests/"$t"
+done
+
+# Widened detection window for the chaos soak: sanitizer slowdown must never
+# starve a live node's heartbeat thread into a false death (same knobs as the
+# TSan gate).
+echo "== ASan/UBSan: chaos_test =="
+RAY_CHAOS_HEARTBEAT_US=20000 RAY_CHAOS_MISS_THRESHOLD=8 ./build-asan/tests/chaos_test
+echo "ASan/UBSan: all clean"

@@ -4,6 +4,18 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Concurrency-hygiene grep gates (annotated-lock discipline, escape-hatch
+# budget) run on every tier-1 pass; the clang thread-safety build rides along
+# when clang is installed. See scripts/run_checks.sh for the full bar.
+./scripts/run_checks.sh quick
+if command -v clang++ >/dev/null 2>&1; then
+  cmake --preset tidy >/dev/null
+  cmake --build --preset tidy -j"$(nproc)"
+  echo "thread-safety analysis: clean"
+else
+  echo "thread-safety analysis: SKIPPED (clang++ not on PATH; grep gates still enforced)"
+fi
+
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"

@@ -1,10 +1,10 @@
 #include "baselines/mpi.h"
 
 #include <barrier>
-#include <mutex>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/sync.h"
 #include "common/logging.h"
 #include "raylib/env.h"
 #include "common/random.h"
@@ -89,7 +89,7 @@ SimulationResult BspSimulation(int num_cores, const std::string& env_name, int r
                                int max_steps, uint64_t seed_base) {
   // Dummy policy: zeros (the comparison measures simulation throughput, not
   // learning).
-  std::mutex mu;
+  Mutex mu{"BspSimulation.mu"};
   uint64_t total_steps = 0;
   Timer timer;
   for (int r = 0; r < rounds; ++r) {
@@ -103,7 +103,7 @@ SimulationResult BspSimulation(int num_cores, const std::string& env_name, int r
         int steps = 0;
         envs::RolloutLinearPolicy(*env, policy, seed_base + static_cast<uint64_t>(r) * num_cores + c,
                                   max_steps, &steps);
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         total_steps += steps;
       });
     }
@@ -127,7 +127,7 @@ MpiPpoResult MpiPpo(SimNetwork& net, const std::vector<NodeId>& ranks, const Mpi
   std::vector<float> policy = init.NormalVector(dim, 0.0, 0.05);
 
   std::barrier<> sync(n);
-  std::mutex mu;
+  Mutex mu{"MpiPpo.mu"};
   uint64_t grand_total_steps = 0;
   std::vector<std::vector<float>> grads(n, std::vector<float>(dim, 0.0f));
 
@@ -161,7 +161,7 @@ MpiPpoResult MpiPpo(SimNetwork& net, const std::vector<NodeId>& ranks, const Mpi
         }
       }
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         grand_total_steps += steps;
       }
       sync.arrive_and_wait();  // global barrier before the gradient exchange

@@ -1,9 +1,9 @@
 #include "baselines/rest_serving.h"
 
-#include <mutex>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/sync.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/random.h"
@@ -50,7 +50,7 @@ RestServingModel::Stats RestServingModel::Drive(int state_dim, int batch, double
   Histogram latency;
   Counter served;
   // The REST server handles one request at a time (single worker process).
-  std::mutex server_mu;
+  Mutex server_mu{"RestServing.server_mu"};
   Timer wall;
   std::vector<std::thread> clients;
   clients.reserve(num_clients);
@@ -61,7 +61,7 @@ RestServingModel::Stats RestServingModel::Drive(int state_dim, int batch, double
       while (wall.ElapsedSeconds() < duration_seconds) {
         Timer req;
         {
-          std::lock_guard<std::mutex> lock(server_mu);
+          MutexLock lock(server_mu);
           Evaluate(states, batch);
         }
         latency.Observe(req.ElapsedMillis());

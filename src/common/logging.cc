@@ -2,7 +2,8 @@
 
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace ray {
 
@@ -19,7 +20,7 @@ void Logger::RunFatalHook() {
 }
 
 void Logger::Emit(LogLevel level, const char* file, int line, const std::string& message) {
-  static std::mutex mu;
+  static Mutex mu{"Logger.emit_mu"};
   static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR", "FATAL"};
   const char* base = file;
   for (const char* p = file; *p; ++p) {
@@ -29,7 +30,7 @@ void Logger::Emit(LogLevel level, const char* file, int line, const std::string&
   }
   auto now = std::chrono::system_clock::now().time_since_epoch();
   auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   std::fprintf(stderr, "[%lld.%03lld %s %s:%d] %s\n", static_cast<long long>(ms / 1000),
                static_cast<long long>(ms % 1000), kNames[static_cast<int>(level)], base, line, message.c_str());
 }

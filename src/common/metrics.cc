@@ -7,7 +7,7 @@
 namespace ray {
 
 void Ema::Observe(double sample) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!has_value_) {
     value_ = sample;
     has_value_ = true;
@@ -17,23 +17,23 @@ void Ema::Observe(double sample) {
 }
 
 double Ema::Value() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return value_;
 }
 
 bool Ema::HasValue() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return has_value_;
 }
 
 void Ema::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   value_ = 0.0;
   has_value_ = false;
 }
 
 void Histogram::Observe(double sample) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (count_ == 0) {
     min_ = max_ = sample;
   } else {
@@ -54,32 +54,32 @@ void Histogram::Observe(double sample) {
 }
 
 size_t Histogram::Count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_;
 }
 
 double Histogram::Mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
 double Histogram::Min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return min_;
 }
 
 double Histogram::Max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_;
 }
 
 double Histogram::Sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sum_;
 }
 
 double Histogram::Percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (samples_.empty()) {
     return 0.0;
   }

@@ -8,9 +8,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace ray {
 
@@ -25,10 +26,10 @@ class Ema {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"Ema.mu"};
   double alpha_;
-  double value_ = 0.0;
-  bool has_value_ = false;
+  double value_ GUARDED_BY(mu_) = 0.0;
+  bool has_value_ GUARDED_BY(mu_) = false;
 };
 
 // Latency histogram storing raw samples (bounded reservoir) for percentiles.
@@ -48,13 +49,13 @@ class Histogram {
   std::string Summary(const std::string& unit) const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"Histogram.mu"};
   size_t max_samples_;
-  size_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  std::vector<double> samples_;
+  size_t count_ GUARDED_BY(mu_) = 0;
+  double sum_ GUARDED_BY(mu_) = 0.0;
+  double min_ GUARDED_BY(mu_) = 0.0;
+  double max_ GUARDED_BY(mu_) = 0.0;
+  std::vector<double> samples_ GUARDED_BY(mu_);
 };
 
 // Monotonic counter; lock-free.

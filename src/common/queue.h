@@ -3,11 +3,11 @@
 #define RAY_COMMON_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/sync.h"
 
 namespace ray {
 
@@ -19,19 +19,21 @@ class BlockingQueue {
     // Notify while holding the lock: event-loop owners may close, drain, and
     // destroy this queue the moment the item is observable, so the cv must
     // not be touched after the lock is released.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) {
       return false;
     }
     items_.push_back(std::move(item));
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
   // Blocks until an item is available or the queue is closed and drained.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) {
+      cv_.Wait(mu_);
+    }
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -41,9 +43,12 @@ class BlockingQueue {
   }
 
   std::optional<T> PopWithTimeout(std::chrono::milliseconds timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!cv_.wait_for(lock, timeout, [&] { return !items_.empty() || closed_; })) {
-      return std::nullopt;
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) {
+      if (!cv_.WaitUntil(mu_, deadline)) {
+        break;
+      }
     }
     if (items_.empty()) {
       return std::nullopt;
@@ -54,7 +59,7 @@ class BlockingQueue {
   }
 
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -66,26 +71,26 @@ class BlockingQueue {
   // Wakes all blocked poppers; subsequent Pops drain remaining items then
   // return nullopt.
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
   bool Closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_{"BlockingQueue.mu"};
+  CondVar cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ray

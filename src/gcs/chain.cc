@@ -13,10 +13,12 @@ ChainShard::ChainShard(const ChainConfig& config) : config_(config) {
   }
 }
 
-void ChainShard::EnsureHealthyLocked(std::unique_lock<std::mutex>& lock) const {
+void ChainShard::EnsureHealthyLocked() const {
   for (;;) {
     // If another client is already driving a reconfiguration, wait for it.
-    cv_.wait(lock, [&] { return !reconfiguring_; });
+    while (reconfiguring_) {
+      cv_.Wait(mu_);
+    }
     size_t dead = replicas_.size();
     for (size_t i = 0; i < replicas_.size(); ++i) {
       if (!replicas_[i]->alive) {
@@ -30,9 +32,9 @@ void ChainShard::EnsureHealthyLocked(std::unique_lock<std::mutex>& lock) const {
     // This client reports the failure; the master detects and reconfigures.
     reconfiguring_ = true;
     ++num_reconfigurations_;
-    lock.unlock();
+    mu_.Unlock();
     SleepMicros(config_.failure_detection_us);
-    lock.lock();
+    mu_.Lock();
 
     // Remove the dead replica from the chain.
     replicas_.erase(replicas_.begin() + static_cast<long>(dead));
@@ -46,20 +48,20 @@ void ChainShard::EnsureHealthyLocked(std::unique_lock<std::mutex>& lock) const {
     // The chain serves reads/writes from the shortened chain while the new
     // tail catches up; only the final handoff is blocking. We emulate the
     // catch-up off the critical path by charging a small fixed handoff cost.
-    lock.unlock();
+    mu_.Unlock();
     SleepMicros(std::min<int64_t>(transfer_us, 5000));
-    lock.lock();
+    mu_.Lock();
     replacement->store.CopyFrom(replicas_.back()->store);
     replicas_.push_back(std::move(replacement));
 
     reconfiguring_ = false;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
 Status ChainShard::Put(const std::string& key, const std::string& value) {
-  std::unique_lock<std::mutex> lock(mu_);
-  EnsureHealthyLocked(lock);
+  MutexLock lock(mu_);
+  EnsureHealthyLocked();
   for (auto& replica : replicas_) {
     PreciseDelayMicros(config_.hop_latency_us);
     replica->store.Put(key, value);
@@ -68,8 +70,8 @@ Status ChainShard::Put(const std::string& key, const std::string& value) {
 }
 
 Status ChainShard::Append(const std::string& key, const std::string& element) {
-  std::unique_lock<std::mutex> lock(mu_);
-  EnsureHealthyLocked(lock);
+  MutexLock lock(mu_);
+  EnsureHealthyLocked();
   for (auto& replica : replicas_) {
     PreciseDelayMicros(config_.hop_latency_us);
     replica->store.Append(key, element);
@@ -81,8 +83,8 @@ Status ChainShard::ApplyBatch(const std::vector<ChainOp>& ops) {
   if (ops.empty()) {
     return Status::Ok();
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  EnsureHealthyLocked(lock);
+  MutexLock lock(mu_);
+  EnsureHealthyLocked();
   for (auto& replica : replicas_) {
     PreciseDelayMicros(config_.hop_latency_us);
     for (const ChainOp& op : ops) {
@@ -103,8 +105,8 @@ Status ChainShard::ApplyBatch(const std::vector<ChainOp>& ops) {
 }
 
 Result<uint64_t> ChainShard::Increment(const std::string& key) {
-  std::unique_lock<std::mutex> lock(mu_);
-  EnsureHealthyLocked(lock);
+  MutexLock lock(mu_);
+  EnsureHealthyLocked();
   uint64_t value = 0;
   for (auto& replica : replicas_) {
     PreciseDelayMicros(config_.hop_latency_us);
@@ -114,8 +116,8 @@ Result<uint64_t> ChainShard::Increment(const std::string& key) {
 }
 
 Result<std::string> ChainShard::Get(const std::string& key) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  EnsureHealthyLocked(lock);
+  MutexLock lock(mu_);
+  EnsureHealthyLocked();
   PreciseDelayMicros(config_.hop_latency_us);
   auto v = replicas_.back()->store.Get(key);
   if (!v) {
@@ -125,8 +127,8 @@ Result<std::string> ChainShard::Get(const std::string& key) const {
 }
 
 Result<std::vector<std::string>> ChainShard::GetList(const std::string& key) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  EnsureHealthyLocked(lock);
+  MutexLock lock(mu_);
+  EnsureHealthyLocked();
   PreciseDelayMicros(config_.hop_latency_us);
   auto v = replicas_.back()->store.GetList(key);
   if (!v) {
@@ -136,8 +138,8 @@ Result<std::vector<std::string>> ChainShard::GetList(const std::string& key) con
 }
 
 Status ChainShard::Delete(const std::string& key) {
-  std::unique_lock<std::mutex> lock(mu_);
-  EnsureHealthyLocked(lock);
+  MutexLock lock(mu_);
+  EnsureHealthyLocked();
   for (auto& replica : replicas_) {
     PreciseDelayMicros(config_.hop_latency_us);
     replica->store.Delete(key);
@@ -146,20 +148,20 @@ Status ChainShard::Delete(const std::string& key) {
 }
 
 bool ChainShard::Contains(const std::string& key) const {
-  std::unique_lock<std::mutex> lock(mu_);
-  EnsureHealthyLocked(lock);
+  MutexLock lock(mu_);
+  EnsureHealthyLocked();
   return replicas_.back()->store.Contains(key);
 }
 
 void ChainShard::KillReplica(size_t index) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (index < replicas_.size()) {
     replicas_[index]->alive = false;
   }
 }
 
 size_t ChainShard::NumLiveReplicas() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = 0;
   for (const auto& r : replicas_) {
     if (r->alive) {
@@ -170,22 +172,22 @@ size_t ChainShard::NumLiveReplicas() const {
 }
 
 size_t ChainShard::MemoryBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return replicas_.back()->store.MemoryBytes();
 }
 
 size_t ChainShard::DiskBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return replicas_.back()->store.DiskBytes();
 }
 
 size_t ChainShard::NumEntries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return replicas_.back()->store.NumEntries();
 }
 
 size_t ChainShard::Flush(const std::function<bool(const std::string&)>& predicate) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t moved = 0;
   for (auto& replica : replicas_) {
     moved = replica->store.Flush(predicate);
@@ -194,7 +196,7 @@ size_t ChainShard::Flush(const std::function<bool(const std::string&)>& predicat
 }
 
 int ChainShard::NumReconfigurations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return num_reconfigurations_;
 }
 

@@ -9,12 +9,11 @@
 #ifndef RAY_GCS_CHAIN_H_
 #define RAY_GCS_CHAIN_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "gcs/kv_store.h"
 
 namespace ray {
@@ -81,16 +80,17 @@ class ChainShard {
     bool alive = true;
   };
 
-  // Must hold mu_. Blocks until no replica in the chain is dead, performing
-  // detection + reconfiguration + state transfer as needed.
-  void EnsureHealthyLocked(std::unique_lock<std::mutex>& lock) const;
+  // Blocks until no replica in the chain is dead, performing detection +
+  // reconfiguration + state transfer as needed (dropping mu_ for the
+  // simulated delays, reacquiring before return).
+  void EnsureHealthyLocked() const REQUIRES(mu_);
 
   ChainConfig config_;
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  mutable std::vector<std::unique_ptr<Replica>> replicas_;
-  mutable bool reconfiguring_ = false;
-  mutable int num_reconfigurations_ = 0;
+  mutable Mutex mu_{"ChainShard.mu"};
+  mutable CondVar cv_;
+  mutable std::vector<std::unique_ptr<Replica>> replicas_ GUARDED_BY(mu_);
+  mutable bool reconfiguring_ GUARDED_BY(mu_) = false;
+  mutable int num_reconfigurations_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gcs

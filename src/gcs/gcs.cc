@@ -23,10 +23,10 @@ Gcs::ShardBatcher::ShardBatcher(ChainShard* shard, PubSub* pubsub, int max_ops,
 
 Gcs::ShardBatcher::~ShardBatcher() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
+    work_cv_.NotifyAll();
   }
-  work_cv_.notify_all();
   flusher_.join();
 }
 
@@ -34,10 +34,12 @@ Status Gcs::ShardBatcher::Execute(ChainOp op, bool publish) {
   Slot slot;
   slot.op = std::move(op);
   slot.publish = publish;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   queue_.push_back(&slot);
-  work_cv_.notify_one();
-  done_cv_.wait(lock, [&] { return slot.done; });
+  work_cv_.NotifyOne();
+  while (!slot.done) {
+    done_cv_.Wait(mu_);
+  }
   return slot.status;
 }
 
@@ -45,17 +47,19 @@ void Gcs::ShardBatcher::FlusherLoop() {
   std::vector<Slot*> batch;
   std::vector<ChainOp> ops;
   auto& metrics = ControlPlaneMetrics::Instance();
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    while (!shutdown_ && queue_.empty()) {
+      work_cv_.Wait(mu_);
+    }
     if (queue_.empty()) {
       return;  // shutdown with nothing pending
     }
     if (linger_us_ > 0 && queue_.size() < max_ops_ && !shutdown_) {
       // Give concurrent writers a short window to join this round.
-      lock.unlock();
+      lock.Unlock();
       SleepMicros(linger_us_);
-      lock.lock();
+      lock.Lock();
     }
     batch.clear();
     ops.clear();
@@ -66,7 +70,7 @@ void Gcs::ShardBatcher::FlusherLoop() {
     for (Slot* slot : batch) {
       ops.push_back(slot->op);
     }
-    lock.unlock();
+    lock.Unlock();
 
     // One chain replication round commits the whole batch.
     Status status;
@@ -87,12 +91,12 @@ void Gcs::ShardBatcher::FlusherLoop() {
       }
     }
 
-    lock.lock();
+    lock.Lock();
     for (Slot* slot : batch) {
       slot->status = status;
       slot->done = true;
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
     if (shutdown_ && queue_.empty()) {
       return;
     }
@@ -219,12 +223,12 @@ size_t Gcs::NumEntries() const {
 }
 
 void Gcs::AddFlushablePrefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(flush_mu_);
+  MutexLock lock(flush_mu_);
   flushable_prefixes_.push_back(prefix);
 }
 
 bool Gcs::IsFlushable(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(flush_mu_);
+  MutexLock lock(flush_mu_);
   for (const auto& prefix : flushable_prefixes_) {
     if (key.rfind(prefix, 0) == 0) {
       return true;

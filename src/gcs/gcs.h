@@ -16,17 +16,16 @@
 #define RAY_GCS_GCS_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "gcs/chain.h"
 #include "gcs/pubsub.h"
 
@@ -128,11 +127,13 @@ class Gcs {
     size_t max_ops_;
     int64_t linger_us_;
 
-    std::mutex mu_;
-    std::condition_variable work_cv_;
-    std::condition_variable done_cv_;
-    std::deque<Slot*> queue_;
-    bool shutdown_ = false;
+    Mutex mu_{"Gcs.ShardBatcher.mu"};
+    CondVar work_cv_;
+    CondVar done_cv_;
+    // Slots are stack-owned by blocked writers; the pointers (and each
+    // slot's done/status fields) are only touched under mu_.
+    std::deque<Slot*> queue_ GUARDED_BY(mu_);
+    bool shutdown_ GUARDED_BY(mu_) = false;
     std::thread flusher_;
   };
 
@@ -149,8 +150,8 @@ class Gcs {
   std::unique_ptr<PubSub> pubsub_;
   std::vector<std::unique_ptr<ShardBatcher>> batchers_;  // destroyed before pubsub_
 
-  mutable std::mutex flush_mu_;
-  std::vector<std::string> flushable_prefixes_;
+  mutable Mutex flush_mu_{"Gcs.flush_mu"};
+  std::vector<std::string> flushable_prefixes_ GUARDED_BY(flush_mu_);
 };
 
 }  // namespace gcs

@@ -19,7 +19,7 @@ LivenessView::LivenessView(GcsTables* tables) : tables_(tables) {
       [this](const NodeId& node, bool alive) { OnMembership(node, alive); });
   for (const auto& [node, alive] : tables_->nodes.GetAll()) {
     if (!alive) {
-      std::lock_guard<std::shared_mutex> lock(mu_);
+      WriterMutexLock lock(mu_);
       dead_.insert(node);
     }
   }
@@ -28,14 +28,14 @@ LivenessView::LivenessView(GcsTables* tables) : tables_(tables) {
 LivenessView::~LivenessView() { tables_->nodes.UnsubscribeMembership(sub_token_); }
 
 bool LivenessView::IsDead(const NodeId& node) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return dead_.count(node) > 0;
 }
 
 void LivenessView::OnMembership(const NodeId& node, bool alive) {
   bool newly_dead = false;
   {
-    std::lock_guard<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
     if (alive) {
       dead_.erase(node);
     } else {
@@ -49,7 +49,7 @@ void LivenessView::OnMembership(const NodeId& node, bool alive) {
   // Copy callbacks out of the lock: a callback may add/remove others.
   std::vector<DeathCallback> cbs;
   {
-    std::lock_guard<std::mutex> lock(cb_mu_);
+    MutexLock lock(cb_mu_);
     cbs.reserve(callbacks_.size());
     for (const auto& [token, cb] : callbacks_) {
       cbs.push_back(cb);
@@ -61,14 +61,14 @@ void LivenessView::OnMembership(const NodeId& node, bool alive) {
 }
 
 uint64_t LivenessView::AddDeathCallback(DeathCallback callback) {
-  std::lock_guard<std::mutex> lock(cb_mu_);
+  MutexLock lock(cb_mu_);
   uint64_t token = next_cb_token_++;
   callbacks_.emplace(token, std::move(callback));
   return token;
 }
 
 void LivenessView::RemoveDeathCallback(uint64_t token) {
-  std::lock_guard<std::mutex> lock(cb_mu_);
+  MutexLock lock(cb_mu_);
   callbacks_.erase(token);
 }
 
@@ -89,28 +89,28 @@ GcsMonitor::~GcsMonitor() { Stop(); }
 
 void GcsMonitor::Stop() {
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    MutexLock lock(stop_mu_);
     if (stop_) {
       return;
     }
     stop_ = true;
+    stop_cv_.NotifyAll();
   }
-  stop_cv_.notify_all();
   if (sweep_thread_.joinable()) {
     sweep_thread_.join();
   }
 }
 
 void GcsMonitor::SweepLoop() {
-  std::unique_lock<std::mutex> lock(stop_mu_);
+  MutexLock lock(stop_mu_);
   while (!stop_) {
-    stop_cv_.wait_for(lock, std::chrono::microseconds(sweep_interval_us_));
+    stop_cv_.WaitFor(stop_mu_, std::chrono::microseconds(sweep_interval_us_));
     if (stop_) {
       return;
     }
-    lock.unlock();
+    lock.Unlock();
     Sweep(NowMicros());
-    lock.lock();
+    lock.Lock();
   }
 }
 

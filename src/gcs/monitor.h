@@ -28,17 +28,15 @@
 #define RAY_GCS_MONITOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/id.h"
+#include "common/sync.h"
 #include "gcs/tables.h"
 
 namespace ray {
@@ -79,12 +77,12 @@ class LivenessView {
   GcsTables* tables_;
   uint64_t sub_token_ = 0;
 
-  mutable std::shared_mutex mu_;
-  std::unordered_set<NodeId> dead_;
+  mutable SharedMutex mu_{"LivenessView.mu"};
+  std::unordered_set<NodeId> dead_ GUARDED_BY(mu_);
 
-  std::mutex cb_mu_;
-  std::map<uint64_t, DeathCallback> callbacks_;
-  uint64_t next_cb_token_ = 1;
+  Mutex cb_mu_{"LivenessView.cb_mu"};
+  std::map<uint64_t, DeathCallback> callbacks_ GUARDED_BY(cb_mu_);
+  uint64_t next_cb_token_ GUARDED_BY(cb_mu_) = 1;
   std::atomic<uint64_t> deaths_observed_{0};
 };
 
@@ -139,9 +137,9 @@ class GcsMonitor {
   std::unordered_map<NodeId, Observed> observed_;  // sweep-thread private
   std::atomic<uint64_t> deaths_declared_{0};
 
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
-  bool stop_ = false;
+  Mutex stop_mu_{"GcsMonitor.stop_mu"};
+  CondVar stop_cv_;
+  bool stop_ GUARDED_BY(stop_mu_) = false;
   std::thread sweep_thread_;
 };
 

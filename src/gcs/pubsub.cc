@@ -22,9 +22,9 @@ PubSub::~PubSub() {
   shutdown_.store(true, std::memory_order_release);
   for (auto& worker : workers_) {
     {
-      std::lock_guard<std::mutex> lock(worker->mu);
+      MutexLock lock(worker->mu);
+      worker->cv.NotifyAll();
     }
-    worker->cv.notify_all();
   }
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) {
@@ -40,7 +40,7 @@ uint64_t PubSub::Subscribe(const std::string& key, Callback callback) {
   sub->callback = std::move(callback);
   Bucket& bucket = BucketFor(key);
   {
-    std::unique_lock<std::shared_mutex> lock(bucket.mu);
+    WriterMutexLock lock(bucket.mu);
     bucket.subs[key].push_back(std::move(sub));
   }
   num_subscriptions_.fetch_add(1, std::memory_order_relaxed);
@@ -52,7 +52,7 @@ void PubSub::Unsubscribe(const std::string& key, uint64_t token) {
   std::shared_ptr<Subscription> removed;
   Bucket& bucket = BucketFor(key);
   {
-    std::unique_lock<std::shared_mutex> lock(bucket.mu);
+    WriterMutexLock lock(bucket.mu);
     auto it = bucket.subs.find(key);
     if (it == bucket.subs.end()) {
       return;
@@ -81,14 +81,14 @@ void PubSub::Unsubscribe(const std::string& key, uint64_t token) {
   }
   // Wait out an in-flight delivery so the callback provably never runs after
   // this returns (callers routinely free callback-captured state next).
-  std::lock_guard<std::mutex> wait(removed->run_mu);
+  MutexLock wait(removed->run_mu);
 }
 
 void PubSub::Deliver(const std::string& key, const std::string& value) {
   std::vector<std::shared_ptr<Subscription>> targets;
   {
     const Bucket& bucket = BucketFor(key);
-    std::shared_lock<std::shared_mutex> lock(bucket.mu);
+    ReaderMutexLock lock(bucket.mu);
     auto it = bucket.subs.find(key);
     if (it == bucket.subs.end()) {
       return;
@@ -99,7 +99,7 @@ void PubSub::Deliver(const std::string& key, const std::string& value) {
     if (!sub->active.load(std::memory_order_acquire)) {
       continue;
     }
-    std::lock_guard<std::mutex> run(sub->run_mu);
+    MutexLock run(sub->run_mu);
     if (!sub->active.load(std::memory_order_acquire)) {
       continue;  // unsubscribed while we acquired the run lock
     }
@@ -117,21 +117,21 @@ void PubSub::Publish(const std::string& key, const std::string& value) {
   }
   Worker& worker = *workers_[Hash(key) % workers_.size()];
   {
-    std::lock_guard<std::mutex> lock(worker.mu);
+    MutexLock lock(worker.mu);
     worker.queue.emplace_back(key, value);
+    worker.cv.NotifyOne();
   }
   ControlPlaneMetrics::Instance().publish_queue_depth.Add(1);
-  worker.cv.notify_one();
 }
 
 void PubSub::WorkerLoop(Worker& worker) {
   for (;;) {
     std::pair<std::string, std::string> event;
     {
-      std::unique_lock<std::mutex> lock(worker.mu);
-      worker.cv.wait(lock, [&] {
-        return !worker.queue.empty() || shutdown_.load(std::memory_order_acquire);
-      });
+      MutexLock lock(worker.mu);
+      while (worker.queue.empty() && !shutdown_.load(std::memory_order_acquire)) {
+        worker.cv.Wait(worker.mu);
+      }
       if (worker.queue.empty()) {
         return;  // shutdown with nothing left to deliver
       }
@@ -142,10 +142,10 @@ void PubSub::WorkerLoop(Worker& worker) {
     Deliver(event.first, event.second);
     ControlPlaneMetrics::Instance().publish_queue_depth.Sub(1);
     {
-      std::lock_guard<std::mutex> lock(worker.mu);
+      MutexLock lock(worker.mu);
       worker.busy = false;
       if (worker.queue.empty()) {
-        worker.cv.notify_all();  // wake Drain
+        worker.cv.NotifyAll();  // wake Drain
       }
     }
   }
@@ -153,15 +153,17 @@ void PubSub::WorkerLoop(Worker& worker) {
 
 void PubSub::Drain() {
   for (auto& worker : workers_) {
-    std::unique_lock<std::mutex> lock(worker->mu);
-    worker->cv.wait(lock, [&] { return worker->queue.empty() && !worker->busy; });
+    MutexLock lock(worker->mu);
+    while (!worker->queue.empty() || worker->busy) {
+      worker->cv.Wait(worker->mu);
+    }
   }
 }
 
 size_t PubSub::QueueDepth() const {
   size_t depth = 0;
   for (const auto& worker : workers_) {
-    std::lock_guard<std::mutex> lock(worker->mu);
+    MutexLock lock(worker->mu);
     depth += worker->queue.size();
   }
   return depth;

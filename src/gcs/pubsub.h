@@ -20,16 +20,15 @@
 #define RAY_GCS_PUBSUB_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace ray {
 namespace gcs {
@@ -69,22 +68,23 @@ class PubSub {
     std::atomic<bool> active{true};
     // Held while the callback runs; Unsubscribe acquires it to wait out an
     // in-flight delivery.
-    std::mutex run_mu;
+    Mutex run_mu{"PubSub.Subscription.run_mu"};
     // Thread currently delivering to this subscription (for self-unsubscribe
     // detection).
     std::atomic<std::thread::id> running_on{};
   };
 
   struct Bucket {
-    mutable std::shared_mutex mu;
-    std::unordered_map<std::string, std::vector<std::shared_ptr<Subscription>>> subs;
+    mutable SharedMutex mu{"PubSub.Bucket.mu"};
+    std::unordered_map<std::string, std::vector<std::shared_ptr<Subscription>>> subs
+        GUARDED_BY(mu);
   };
 
   struct Worker {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<std::pair<std::string, std::string>> queue;
-    bool busy = false;
+    mutable Mutex mu{"PubSub.Worker.mu"};
+    CondVar cv;
+    std::deque<std::pair<std::string, std::string>> queue GUARDED_BY(mu);
+    bool busy GUARDED_BY(mu) = false;
     std::thread thread;
   };
 

@@ -16,14 +16,14 @@ SimNetwork::SimNetwork(const NetConfig& config) : config_(config) {
 
 SimNetwork::~SimNetwork() {
   {
-    std::lock_guard<std::mutex> lock(async_mu_);
+    MutexLock lock(async_mu_);
     stop_ = true;
     // Pending callbacks are dropped: owners (PullManager, blocking shims)
     // are destroyed before the network, so nobody is left to hear them.
     due_.clear();
     pending_.clear();
+    async_cv_.NotifyAll();
   }
-  async_cv_.notify_all();
   if (completion_thread_.joinable()) {
     completion_thread_.join();
   }
@@ -36,7 +36,7 @@ int64_t SimNetwork::EstimateTransferMicros(uint64_t bytes, int streams) const {
 }
 
 int64_t SimNetwork::ReserveNic(const NodeId& node, int64_t now_us, int64_t duration_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t& free_at = nic_free_at_us_[node];
   int64_t start = std::max(now_us, free_at);
   free_at = start + duration_us;
@@ -47,7 +47,7 @@ void SimNetwork::ReleaseNic(const NodeId& node, int64_t start_us, int64_t end_us
   if (end_us <= start_us) {
     return;  // small transfer: no reservation was taken
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = nic_free_at_us_.find(node);
   // Only roll back if ours is still the last reservation on this NIC; later
   // reservations queued behind a cancelled one keep their (pessimistic)
@@ -59,7 +59,7 @@ void SimNetwork::ReleaseNic(const NodeId& node, int64_t start_us, int64_t end_us
 
 void SimNetwork::SetChaosSeed(uint64_t seed) {
   {
-    std::lock_guard<std::mutex> lock(chaos_mu_);
+    MutexLock lock(chaos_mu_);
     chaos_rng_ = Rng(seed);
   }
   chaos_enabled_.store(true, std::memory_order_release);
@@ -68,12 +68,12 @@ void SimNetwork::SetChaosSeed(uint64_t seed) {
 void SimNetwork::DisableChaos() { chaos_enabled_.store(false, std::memory_order_release); }
 
 void SimNetwork::SetDropProbability(double p) {
-  std::lock_guard<std::mutex> lock(chaos_mu_);
+  MutexLock lock(chaos_mu_);
   chaos_drop_p_ = p;
 }
 
 void SimNetwork::SetLinkDropProbability(const NodeId& a, const NodeId& b, double p) {
-  std::lock_guard<std::mutex> lock(chaos_mu_);
+  MutexLock lock(chaos_mu_);
   if (p <= 0.0) {
     link_drop_p_[a].erase(b);
     link_drop_p_[b].erase(a);
@@ -84,7 +84,7 @@ void SimNetwork::SetLinkDropProbability(const NodeId& a, const NodeId& b, double
 }
 
 void SimNetwork::SetPartitioned(const NodeId& a, const NodeId& b, bool on) {
-  std::lock_guard<std::mutex> lock(chaos_mu_);
+  MutexLock lock(chaos_mu_);
   if (on) {
     partitioned_[a].insert(b);
     partitioned_[b].insert(a);
@@ -95,7 +95,7 @@ void SimNetwork::SetPartitioned(const NodeId& a, const NodeId& b, bool on) {
 }
 
 void SimNetwork::SetNodeBandwidthScale(const NodeId& node, double scale) {
-  std::lock_guard<std::mutex> lock(chaos_mu_);
+  MutexLock lock(chaos_mu_);
   if (scale >= 1.0 || scale <= 0.0) {
     bandwidth_scale_.erase(node);
   } else {
@@ -104,13 +104,13 @@ void SimNetwork::SetNodeBandwidthScale(const NodeId& node, double scale) {
 }
 
 void SimNetwork::SetJitterMaxMicros(int64_t us) {
-  std::lock_guard<std::mutex> lock(chaos_mu_);
+  MutexLock lock(chaos_mu_);
   chaos_jitter_max_us_ = us;
 }
 
 SimNetwork::ChaosVerdict SimNetwork::JudgeChaos(const NodeId& from, const NodeId& to) {
   ChaosVerdict v;
-  std::lock_guard<std::mutex> lock(chaos_mu_);
+  MutexLock lock(chaos_mu_);
   if (auto p = partitioned_.find(from); p != partitioned_.end() && p->second.count(to) > 0) {
     v.drop = true;
     return v;
@@ -140,7 +140,7 @@ uint64_t SimNetwork::TransferAsync(const NodeId& from, const NodeId& to, uint64_
                                    int streams, const ObjectId& object, TransferCallback cb) {
   uint64_t token;
   {
-    std::lock_guard<std::mutex> lock(async_mu_);
+    MutexLock lock(async_mu_);
     token = next_token_++;
   }
   if (from == to) {
@@ -201,14 +201,14 @@ uint64_t SimNetwork::TransferAsync(const NodeId& from, const NodeId& to, uint64_
     return token;
   }
   {
-    std::lock_guard<std::mutex> lock(async_mu_);
+    MutexLock lock(async_mu_);
     if (stop_) {
       return token;  // shutting down; drop
     }
     due_.emplace(p.done_us, token);
     pending_.emplace(token, std::move(p));
+    async_cv_.NotifyAll();
   }
-  async_cv_.notify_all();
   return token;
 }
 
@@ -234,13 +234,13 @@ void SimNetwork::Complete(Pending&& p) {
 }
 
 void SimNetwork::CompletionLoop() {
-  std::unique_lock<std::mutex> lock(async_mu_);
+  MutexLock lock(async_mu_);
   while (true) {
     if (stop_) {
       return;
     }
     if (due_.empty()) {
-      async_cv_.wait(lock);
+      async_cv_.Wait(async_mu_);
       continue;
     }
     int64_t due = due_.begin()->first;
@@ -250,12 +250,12 @@ void SimNetwork::CompletionLoop() {
         // Coarse sleep, waking early; the tail is busy-spun for precision
         // (mirrors PreciseDelayMicros). A newly scheduled transfer notifies
         // the cv and re-enters this check.
-        async_cv_.wait_for(lock, std::chrono::microseconds(due - now - 200));
+        async_cv_.WaitFor(async_mu_, std::chrono::microseconds(due - now - 200));
       } else {
-        lock.unlock();
+        lock.Unlock();
         while (NowMicros() < due) {
         }
-        lock.lock();
+        lock.Lock();
       }
       continue;
     }
@@ -268,11 +268,11 @@ void SimNetwork::CompletionLoop() {
     Pending p = std::move(it->second);
     pending_.erase(it);
     running_token_ = token;
-    lock.unlock();
+    lock.Unlock();
     Complete(std::move(p));
-    lock.lock();
+    lock.Lock();
     running_token_ = 0;
-    async_cv_.notify_all();  // unblock CancelTransfer barriers
+    async_cv_.NotifyAll();  // unblock CancelTransfer barriers
   }
 }
 
@@ -282,12 +282,14 @@ bool SimNetwork::CancelTransfer(uint64_t token) {
   }
   Pending p;
   {
-    std::unique_lock<std::mutex> lock(async_mu_);
+    MutexLock lock(async_mu_);
     auto it = pending_.find(token);
     if (it == pending_.end()) {
       // Already completed (or never queued). If its callback is mid-flight on
       // the completion thread, wait it out so the caller can tear down state.
-      async_cv_.wait(lock, [&] { return running_token_ != token; });
+      while (running_token_ == token) {
+        async_cv_.Wait(async_mu_);
+      }
       return false;
     }
     p = std::move(it->second);
@@ -354,7 +356,7 @@ Status SimNetwork::SchedulerHop(const NodeId& from, const NodeId& to) {
 }
 
 void SimNetwork::SetNodeDead(const NodeId& node, bool dead) {
-  std::lock_guard<std::shared_mutex> lock(dead_mu_);
+  WriterMutexLock lock(dead_mu_);
   if (dead) {
     dead_.insert(node);
   } else {
@@ -363,7 +365,7 @@ void SimNetwork::SetNodeDead(const NodeId& node, bool dead) {
 }
 
 bool SimNetwork::IsDead(const NodeId& node) const {
-  std::shared_lock<std::shared_mutex> lock(dead_mu_);
+  ReaderMutexLock lock(dead_mu_);
   return dead_.count(node) > 0;
 }
 

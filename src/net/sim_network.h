@@ -25,17 +25,15 @@
 #define RAY_NET_SIM_NETWORK_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/id.h"
+#include "common/sync.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -179,39 +177,41 @@ class SimNetwork {
   std::atomic<uint64_t> num_transfers_{0};
   std::atomic<uint64_t> cancelled_transfers_{0};
 
-  mutable std::mutex mu_;
-  std::unordered_map<NodeId, int64_t> nic_free_at_us_;
+  mutable Mutex mu_{"SimNetwork.nic_mu"};
+  std::unordered_map<NodeId, int64_t> nic_free_at_us_ GUARDED_BY(mu_);
 
   // --- async completion machinery ---
-  std::mutex async_mu_;
-  std::condition_variable async_cv_;
+  Mutex async_mu_{"SimNetwork.async_mu"};
+  CondVar async_cv_;
   // due time -> token; multimap because completions can tie.
-  std::multimap<int64_t, uint64_t> due_;
-  std::unordered_map<uint64_t, Pending> pending_;
-  uint64_t next_token_ = 1;
-  uint64_t running_token_ = 0;  // token whose callback is currently executing
-  bool stop_ = false;
+  std::multimap<int64_t, uint64_t> due_ GUARDED_BY(async_mu_);
+  std::unordered_map<uint64_t, Pending> pending_ GUARDED_BY(async_mu_);
+  uint64_t next_token_ GUARDED_BY(async_mu_) = 1;
+  // Token whose callback is currently executing on the completion thread.
+  uint64_t running_token_ GUARDED_BY(async_mu_) = 0;
+  bool stop_ GUARDED_BY(async_mu_) = false;
   std::thread completion_thread_;
 
   // Liveness is read on every RPC/transfer/fetch but written only when a node
   // dies or revives, so it gets its own reader-writer lock instead of riding
   // on the NIC-reservation mutex.
-  mutable std::shared_mutex dead_mu_;
-  std::unordered_set<NodeId> dead_;
+  mutable SharedMutex dead_mu_{"SimNetwork.dead_mu"};
+  std::unordered_set<NodeId> dead_ GUARDED_BY(dead_mu_);
 
   // --- chaos state ---
   // The atomic keeps the no-chaos fast path to one relaxed load; everything
   // else is only touched under chaos_mu_ when injection is on.
   std::atomic<bool> chaos_enabled_{false};
   std::atomic<uint64_t> chaos_drops_{0};
-  mutable std::mutex chaos_mu_;
-  Rng chaos_rng_{0};
-  double chaos_drop_p_ = 0.0;
-  int64_t chaos_jitter_max_us_ = 0;
+  mutable Mutex chaos_mu_{"SimNetwork.chaos_mu"};
+  Rng chaos_rng_ GUARDED_BY(chaos_mu_){0};
+  double chaos_drop_p_ GUARDED_BY(chaos_mu_) = 0.0;
+  int64_t chaos_jitter_max_us_ GUARDED_BY(chaos_mu_) = 0;
   // Both directions of a pair are stored, so a verdict is one lookup.
-  std::unordered_map<NodeId, std::unordered_map<NodeId, double>> link_drop_p_;
-  std::unordered_map<NodeId, std::unordered_set<NodeId>> partitioned_;
-  std::unordered_map<NodeId, double> bandwidth_scale_;
+  std::unordered_map<NodeId, std::unordered_map<NodeId, double>> link_drop_p_
+      GUARDED_BY(chaos_mu_);
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> partitioned_ GUARDED_BY(chaos_mu_);
+  std::unordered_map<NodeId, double> bandwidth_scale_ GUARDED_BY(chaos_mu_);
 };
 
 }  // namespace ray

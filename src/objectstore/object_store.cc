@@ -17,29 +17,29 @@ namespace {
 // increments the count, so a signal arriving while the waiter is busy
 // attempting a pull is never lost.
 struct LocationSignal {
-  std::mutex mu;
-  std::condition_variable cv;
-  uint64_t count = 0;
+  Mutex mu{"ObjectStore.LocationSignal.mu"};
+  CondVar cv;
+  uint64_t count GUARDED_BY(mu) = 0;
 
   void Signal() {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      ++count;
-    }
-    cv.notify_all();
+    MutexLock lock(mu);
+    ++count;
+    cv.NotifyAll();
   }
 
   uint64_t Snapshot() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return count;
   }
 
   // Waits until the count moves past `seen`; deadline_us < 0 waits forever.
   // Returns false on timeout.
   bool WaitPast(uint64_t seen, int64_t deadline_us) {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (deadline_us < 0) {
-      cv.wait(lock, [&] { return count > seen; });
+      while (count <= seen) {
+        cv.Wait(mu);
+      }
       return true;
     }
     for (;;) {
@@ -50,7 +50,7 @@ struct LocationSignal {
       if (remaining <= 0) {
         return false;
       }
-      cv.wait_for(lock, std::chrono::microseconds(remaining));
+      cv.WaitFor(mu, std::chrono::microseconds(remaining));
     }
   }
 };
@@ -58,6 +58,9 @@ struct LocationSignal {
 }  // namespace
 
 void ParallelCopy(uint8_t* dst, const uint8_t* src, size_t size, int threads, ThreadPool& pool) {
+  if (size == 0) {
+    return;  // memcpy(null, null, 0) is UB: empty buffers may be unallocated
+  }
   threads = std::max(1, threads);
   if (threads == 1 || size < 64 * 1024) {
     std::memcpy(dst, src, size);
@@ -131,7 +134,7 @@ Status ObjectStore::Put(const ObjectId& id, BufferPtr buffer) {
   size_t size = buffer->Size();
   trace::Span span(trace::Stage::kPut, TaskId(), id, node_, NodeId(), size);
   {
-    std::lock_guard<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
     auto it = objects_.find(id);
     if (it != objects_.end()) {
       // Objects are immutable: re-putting the same id is a no-op (idempotent
@@ -159,7 +162,7 @@ Status ObjectStore::Put(const ObjectId& id, BufferPtr buffer) {
 }
 
 Result<BufferPtr> ObjectStore::GetLocal(const ObjectId& id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = objects_.find(id);
   if (it == objects_.end()) {
     return Status::KeyNotFound("object not in local store");
@@ -168,9 +171,9 @@ Result<BufferPtr> ObjectStore::GetLocal(const ObjectId& id) {
     // Promote from the disk tier, charging the read penalty.
     size_t size = it->second.buffer->Size();
     trace::Span span(trace::Stage::kPromote, TaskId(), id, node_, NodeId(), size);
-    lock.unlock();
+    lock.Unlock();
     PreciseDelayMicros(static_cast<int64_t>(static_cast<double>(size) / config_.disk_read_bytes_per_sec * 1e6));
-    lock.lock();
+    lock.Lock();
     it = objects_.find(id);
     if (it == objects_.end()) {
       return Status::KeyNotFound("object evicted during disk read");
@@ -190,7 +193,7 @@ Result<BufferPtr> ObjectStore::GetLocal(const ObjectId& id) {
 }
 
 bool ObjectStore::ContainsLocal(const ObjectId& id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return objects_.count(id) > 0;
 }
 
@@ -294,7 +297,7 @@ Result<BufferPtr> ObjectStore::Get(const ObjectId& id, int64_t timeout_us) {
 
 Status ObjectStore::DeleteLocal(const ObjectId& id) {
   {
-    std::lock_guard<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(mu_);
     auto it = objects_.find(id);
     if (it == objects_.end()) {
       return Status::KeyNotFound("object not local");
@@ -312,19 +315,19 @@ void ObjectStore::OnPeerDeath(const NodeId& node) { pull_manager_->OnNodeDeath(n
 
 void ObjectStore::CrashClear() {
   pull_manager_->AbortAll(Status::NodeDead("node crashed"));
-  std::lock_guard<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   objects_.clear();
   lru_.clear();
   used_bytes_ = 0;
 }
 
 size_t ObjectStore::UsedBytes() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return used_bytes_;
 }
 
 size_t ObjectStore::NumObjects() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return objects_.size();
 }
 

@@ -12,15 +12,13 @@
 #ifndef RAY_OBJECTSTORE_OBJECT_STORE_H_
 #define RAY_OBJECTSTORE_OBJECT_STORE_H_
 
-#include <condition_variable>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/buffer.h"
+#include "common/sync.h"
 #include "common/id.h"
 #include "common/metrics.h"
 #include "common/status.h"
@@ -126,10 +124,10 @@ class ObjectStore {
     std::list<ObjectId>::iterator lru_it;
   };
 
-  // Must hold mu_. Evicts LRU objects to the disk tier until used memory is
-  // at most `target`.
-  void EvictLocked(size_t target);
-  void TouchLocked(const ObjectId& id, Slot& slot);
+  // Evicts LRU objects to the disk tier until used memory is at most
+  // `target`.
+  void EvictLocked(size_t target) REQUIRES(mu_);
+  void TouchLocked(const ObjectId& id, Slot& slot) REQUIRES(mu_);
 
   NodeId node_;
   gcs::GcsTables* tables_;
@@ -141,10 +139,10 @@ class ObjectStore {
   // Reader-writer lock: ContainsLocal is on the task-submission hot path
   // (every dependency of every Enqueue) and takes it shared; mutations and
   // LRU touches take it exclusive.
-  mutable std::shared_mutex mu_;
-  std::unordered_map<ObjectId, Slot> objects_;
-  std::list<ObjectId> lru_;  // front = most recent
-  size_t used_bytes_ = 0;
+  mutable SharedMutex mu_{"ObjectStore.mu"};
+  std::unordered_map<ObjectId, Slot> objects_ GUARDED_BY(mu_);
+  std::list<ObjectId> lru_ GUARDED_BY(mu_);  // front = most recent
+  size_t used_bytes_ GUARDED_BY(mu_) = 0;
 
   ThreadPool copy_pool_;
   std::unique_ptr<PullManager> pull_manager_;

@@ -28,10 +28,10 @@ uint64_t PullManager::Pull(const ObjectId& id, Callback cb, const NodeId* prefer
   uint64_t token;
   bool fresh = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     token = next_token_++;
     if (shutdown_.load(std::memory_order_relaxed)) {
-      lock.unlock();
+      lock.Unlock();
       cb(Status::Unavailable("pull manager shut down"));
       return token;
     }
@@ -61,12 +61,14 @@ uint64_t PullManager::Pull(const ObjectId& id, Callback cb, const NodeId* prefer
 void PullManager::CancelWaiter(uint64_t token) {
   EntryPtr to_abort;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto iit = waiter_index_.find(token);
     if (iit == waiter_index_.end()) {
       // Already dispatched (or being dispatched right now): barrier so the
       // caller can destroy whatever the callback captured.
-      cv_.wait(lock, [&] { return dispatching_token_ != token; });
+      while (dispatching_token_ == token) {
+        cv_.Wait(mu_);
+      }
       return;
     }
     ObjectId id = iit->second;
@@ -102,7 +104,7 @@ void PullManager::CancelWaiter(uint64_t token) {
 void PullManager::AbortAll(const Status& status) {
   std::vector<EntryPtr> aborted;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     aborted.reserve(entries_.size());
     for (auto& [id, e] : entries_) {
       aborted.push_back(e);
@@ -120,7 +122,7 @@ void PullManager::AbortAll(const Status& status) {
     }
     std::vector<Waiter> waiters;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       waiters = std::move(e->waiters);
       e->waiters.clear();
     }
@@ -157,7 +159,7 @@ void PullManager::Loop() {
     }
     EntryPtr e;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       auto it = entries_.find(ev->id);
       if (it == entries_.end()) {
         continue;  // cancelled / aborted / completed under us
@@ -277,7 +279,7 @@ void PullManager::HandleNodeDeath(const NodeId& node) {
   // failover below mutates entries_.
   std::vector<EntryPtr> affected;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [id, e] : entries_) {
       if (e->started && e->src == node && !e->aborted.load(std::memory_order_acquire)) {
         affected.push_back(e);
@@ -356,7 +358,7 @@ void PullManager::CompleteEntry(const EntryPtr& e, Status status) {
   }
   std::vector<Waiter> waiters;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(e->id);
     if (it != entries_.end() && it->second == e) {
       entries_.erase(it);
@@ -370,7 +372,7 @@ void PullManager::CompleteEntry(const EntryPtr& e, Status status) {
 void PullManager::DispatchWaiters(std::vector<Waiter> waiters, const Status& status) {
   for (auto& w : waiters) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (waiter_index_.erase(w.token) == 0) {
         continue;  // cancelled while we were completing
       }
@@ -378,10 +380,12 @@ void PullManager::DispatchWaiters(std::vector<Waiter> waiters, const Status& sta
     }
     w.cb(status);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      // Notify under the lock: the cancelling thread may tear the manager
+      // down the moment it observes dispatching_token_ cleared.
+      MutexLock lock(mu_);
       dispatching_token_ = 0;
+      cv_.NotifyAll();
     }
-    cv_.notify_all();
   }
 }
 

@@ -25,10 +25,8 @@
 #define RAY_OBJECTSTORE_PULL_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -38,6 +36,7 @@
 #include "common/id.h"
 #include "common/queue.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "gcs/monitor.h"
 #include "gcs/tables.h"
@@ -173,12 +172,12 @@ class PullManager {
   PullManagerConfig config_;
   gcs::LivenessView* liveness_;  // may be null: assume-alive
 
-  std::mutex mu_;
-  std::condition_variable cv_;  // CancelWaiter barrier on dispatching_token_
-  std::unordered_map<ObjectId, EntryPtr> entries_;
-  std::unordered_map<uint64_t, ObjectId> waiter_index_;
-  uint64_t next_token_ = 1;
-  uint64_t dispatching_token_ = 0;
+  Mutex mu_{"PullManager.mu"};
+  CondVar cv_;  // CancelWaiter barrier on dispatching_token_
+  std::unordered_map<ObjectId, EntryPtr> entries_ GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, ObjectId> waiter_index_ GUARDED_BY(mu_);
+  uint64_t next_token_ GUARDED_BY(mu_) = 1;
+  uint64_t dispatching_token_ GUARDED_BY(mu_) = 0;
 
   BlockingQueue<Event> queue_;
   std::thread loop_thread_;

@@ -68,7 +68,7 @@ Cluster::~Cluster() {
   gcs_->DrainPublishes();
   recovery_pool_->Shutdown();
   BumpClusterEvent();  // wake any routing/recovery backoff so it sees shutdown
-  std::lock_guard<std::mutex> lock(nodes_mu_);
+  MutexLock lock(nodes_mu_);
   nodes_.clear();  // Node destructors drain gracefully
 }
 
@@ -81,7 +81,7 @@ NodeId Cluster::AddNodeInternal(const LocalSchedulerConfig& scheduler_config) {
     // AddNode cannot slip its node in between (the old two-step re-read of
     // nodes_.back() could start the *other* thread's node twice and leave
     // ours without a peer resolver).
-    std::lock_guard<std::mutex> lock(nodes_mu_);
+    MutexLock lock(nodes_mu_);
     nodes_.push_back(std::move(node));
   }
   // Resolver before Start(): once Start registers the node, peers may
@@ -104,18 +104,18 @@ NodeId Cluster::AddNodeWithResources(const ResourceSet& resources) {
 }
 
 size_t Cluster::NumNodes() const {
-  std::lock_guard<std::mutex> lock(nodes_mu_);
+  MutexLock lock(nodes_mu_);
   return nodes_.size();
 }
 
 Node& Cluster::node(size_t index) {
-  std::lock_guard<std::mutex> lock(nodes_mu_);
+  MutexLock lock(nodes_mu_);
   RAY_CHECK(index < nodes_.size());
   return *nodes_[index];
 }
 
 Node* Cluster::FindNode(const NodeId& id) {
-  std::lock_guard<std::mutex> lock(nodes_mu_);
+  MutexLock lock(nodes_mu_);
   for (const auto& node : nodes_) {
     if (node->id() == id) {
       return node.get();
@@ -142,7 +142,7 @@ void Cluster::OnNodeDeath(const NodeId& node) {
   {
     // Runs on a GCS publish worker; everything under the lock is a cheap
     // enqueue (queue push / pool submit), never blocking work.
-    std::lock_guard<std::mutex> lock(nodes_mu_);
+    MutexLock lock(nodes_mu_);
     for (const auto& n : nodes_) {
       if (n->IsAlive() && n->id() != node) {
         n->store().OnPeerDeath(node);
@@ -158,7 +158,7 @@ void Cluster::OnNodeDeath(const NodeId& node) {
 void Cluster::RecoverActorsOn(const NodeId& node) {
   std::vector<ActorId> actors;
   {
-    std::lock_guard<std::mutex> lock(known_actors_mu_);
+    MutexLock lock(known_actors_mu_);
     actors.assign(known_actors_.begin(), known_actors_.end());
   }
   for (const ActorId& actor : actors) {
@@ -174,21 +174,25 @@ void Cluster::RecoverActorsOn(const NodeId& node) {
 
 void Cluster::BumpClusterEvent() {
   {
-    std::lock_guard<std::mutex> lock(event_mu_);
+    MutexLock lock(event_mu_);
     ++event_epoch_;
+    event_cv_.NotifyAll();
   }
-  event_cv_.notify_all();
 }
 
 uint64_t Cluster::ClusterEventEpoch() {
-  std::lock_guard<std::mutex> lock(event_mu_);
+  MutexLock lock(event_mu_);
   return event_epoch_;
 }
 
 uint64_t Cluster::WaitForClusterEvent(uint64_t seen, int64_t max_wait_us) {
-  std::unique_lock<std::mutex> lock(event_mu_);
-  event_cv_.wait_for(lock, std::chrono::microseconds(max_wait_us),
-                     [&] { return event_epoch_ != seen; });
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(max_wait_us);
+  MutexLock lock(event_mu_);
+  while (event_epoch_ == seen) {
+    if (!event_cv_.WaitUntil(event_mu_, deadline)) {
+      break;  // timed out
+    }
+  }
   return event_epoch_;
 }
 
@@ -196,7 +200,7 @@ void Cluster::RecordLineage(const TaskSpec& spec, const NodeId& submitter) {
   tables_->tasks.AddTask(spec.id, spec.Serialize());
   tables_->tasks.SetState(spec.id, gcs::TaskState::kPending, submitter);
   if (spec.IsActorCreation()) {
-    std::lock_guard<std::mutex> lock(known_actors_mu_);
+    MutexLock lock(known_actors_mu_);
     known_actors_.insert(spec.actor);
   }
   for (uint32_t i = 0; i < spec.num_returns; ++i) {
@@ -302,7 +306,7 @@ void Cluster::ReconstructObject(const ObjectId& object) {
       // original snapshot cursor may predate a recovery (and no longer have
       // a live copy), so rebase onto the chain's current position.
       {
-        std::lock_guard<std::mutex> lock(reconstruct_mu_);
+        MutexLock lock(reconstruct_mu_);
         if (!reconstructing_.insert(spec.id).second) {
           continue;
         }
@@ -313,7 +317,7 @@ void Cluster::ReconstructObject(const ObjectId& object) {
         RAY_LOG(WARNING) << "read-only method re-execution failed: " << s.ToString();
       }
       {
-        std::lock_guard<std::mutex> lock(reconstruct_mu_);
+        MutexLock lock(reconstruct_mu_);
         reconstructing_.erase(spec.id);
       }
       continue;
@@ -324,7 +328,7 @@ void Cluster::ReconstructObject(const ObjectId& object) {
     }
 
     {
-      std::lock_guard<std::mutex> lock(reconstruct_mu_);
+      MutexLock lock(reconstruct_mu_);
       if (!reconstructing_.insert(spec.id).second) {
         continue;  // another thread is resubmitting this task right now
       }
@@ -336,6 +340,26 @@ void Cluster::ReconstructObject(const ObjectId& object) {
       bool node_alive = liveness_->IsAlive(node) && registry_.Lookup(node) != nullptr;
       if ((st == gcs::TaskState::kPending || st == gcs::TaskState::kRunning) && node_alive) {
         resubmit = false;  // already in flight somewhere healthy
+      } else if (st == gcs::TaskState::kDone) {
+        auto entry = tables_->objects.GetLocations(obj);
+        if (entry.ok()) {
+          // The location log exists: the output has been published at least
+          // once. Resubmit only if every replica has since died or been
+          // evicted (net list empty or all on dead nodes).
+          for (const NodeId& loc : entry->locations) {
+            if (liveness_->IsAlive(loc)) {
+              resubmit = false;
+              break;
+            }
+          }
+        } else if (node_alive) {
+          // No location record at all. kDone commits before the first
+          // location publish, so the executing worker is between SetState
+          // and Put: the publish is in flight. Resubmitting here would
+          // re-run a finished task and flip its state back to kPending
+          // under a racing reader (the lineage GC saw exactly that).
+          resubmit = false;
+        }
       }
     }
     // Inputs whose replicas are all gone must be rebuilt regardless of
@@ -365,7 +389,7 @@ void Cluster::ReconstructObject(const ObjectId& object) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(reconstruct_mu_);
+      MutexLock lock(reconstruct_mu_);
       reconstructing_.erase(spec.id);
     }
   }
@@ -413,13 +437,13 @@ size_t Cluster::CollectLineage(const std::vector<ObjectId>& objects, bool transi
 
 void Cluster::RecoverActor(const ActorId& actor) {
   {
-    std::lock_guard<std::mutex> lock(actor_recovery_mu_);
+    MutexLock lock(actor_recovery_mu_);
     if (!actors_recovering_.insert(actor).second) {
       return;  // recovery already in progress
     }
   }
   auto cleanup = [this, &actor] {
-    std::lock_guard<std::mutex> lock(actor_recovery_mu_);
+    MutexLock lock(actor_recovery_mu_);
     actors_recovering_.erase(actor);
   };
 

@@ -8,12 +8,11 @@
 #define RAY_RUNTIME_CLUSTER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "gcs/gcs.h"
 #include "gcs/monitor.h"
@@ -162,27 +161,27 @@ class Cluster {
   RuntimeContext rt_;
   std::unique_ptr<TaskGraph> task_graph_;
 
-  mutable std::mutex nodes_mu_;
-  std::vector<std::unique_ptr<Node>> nodes_;
+  mutable Mutex nodes_mu_{"Cluster.nodes_mu"};
+  std::vector<std::unique_ptr<Node>> nodes_ GUARDED_BY(nodes_mu_);
 
-  std::mutex reconstruct_mu_;
-  std::unordered_set<TaskId> reconstructing_;
+  Mutex reconstruct_mu_{"Cluster.reconstruct_mu"};
+  std::unordered_set<TaskId> reconstructing_ GUARDED_BY(reconstruct_mu_);
 
-  std::mutex actor_recovery_mu_;
-  std::unordered_set<ActorId> actors_recovering_;
+  Mutex actor_recovery_mu_{"Cluster.actor_recovery_mu"};
+  std::unordered_set<ActorId> actors_recovering_ GUARDED_BY(actor_recovery_mu_);
 
   std::atomic<bool> shutting_down_{false};
   uint64_t death_cb_token_ = 0;
 
-  std::mutex event_mu_;
-  std::condition_variable event_cv_;
-  uint64_t event_epoch_ = 0;
+  Mutex event_mu_{"Cluster.event_mu"};
+  CondVar event_cv_;
+  uint64_t event_epoch_ GUARDED_BY(event_mu_) = 0;
 
   // Every actor ever created, so a death notification can proactively
   // recover the dead node's residents (instead of waiting for the next
   // method submission to trip over the corpse).
-  std::mutex known_actors_mu_;
-  std::unordered_set<ActorId> known_actors_;
+  Mutex known_actors_mu_{"Cluster.known_actors_mu"};
+  std::unordered_set<ActorId> known_actors_ GUARDED_BY(known_actors_mu_);
 };
 
 }  // namespace ray

@@ -12,7 +12,6 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -21,6 +20,7 @@
 #include "common/buffer.h"
 #include "common/logging.h"
 #include "common/serialization.h"
+#include "common/sync.h"
 
 namespace ray {
 
@@ -66,7 +66,7 @@ struct HasCheckpointHooks<
 class FunctionRegistry {
  public:
   void RegisterRaw(const std::string& name, RawFunction fn) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     functions_[name] = std::move(fn);
   }
 
@@ -95,18 +95,18 @@ class FunctionRegistry {
       std::pair<R1, R2> result = invoke(args);
       return std::vector<BufferPtr>{SerializeValue(result.first), SerializeValue(result.second)};
     };
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     multi_functions_[name] = std::move(raw);
   }
 
   const RawFunction* Lookup(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = functions_.find(name);
     return it == functions_.end() ? nullptr : &it->second;
   }
 
   const RawMultiFunction* LookupMulti(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = multi_functions_.find(name);
     return it == multi_functions_.end() ? nullptr : &it->second;
   }
@@ -116,9 +116,9 @@ class FunctionRegistry {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, RawFunction> functions_;
-  std::unordered_map<std::string, RawMultiFunction> multi_functions_;
+  mutable Mutex mu_{"FunctionRegistry.mu"};
+  std::unordered_map<std::string, RawFunction> functions_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, RawMultiFunction> multi_functions_ GUARDED_BY(mu_);
 };
 
 // One registered actor method. `read_only` marks methods that do not mutate
@@ -161,7 +161,7 @@ class ActorRegistry {
         static_cast<C*>(self)->RestoreCheckpoint(r);
       };
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     classes_[class_name] = std::move(cls);
   }
 
@@ -175,21 +175,21 @@ class ActorRegistry {
       return detail::InvokeWithBuffers<decltype(bound), R, Args...>(bound, args,
                                                                     std::index_sequence_for<Args...>{});
     };
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = classes_.find(class_name);
     RAY_CHECK(it != classes_.end()) << "actor class not registered: " << class_name;
     it->second.methods[method_name] = MethodEntry{std::move(raw), read_only};
   }
 
   const ActorClass* Lookup(const std::string& class_name) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = classes_.find(class_name);
     return it == classes_.end() ? nullptr : &it->second;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, ActorClass> classes_;
+  mutable Mutex mu_{"ActorRegistry.mu"};
+  std::unordered_map<std::string, ActorClass> classes_ GUARDED_BY(mu_);
 };
 
 }  // namespace ray

@@ -40,7 +40,7 @@ Node::~Node() {
     alive_.store(false, std::memory_order_release);
     rt_->registry->Remove(id_);
     scheduler_->Shutdown();
-    std::lock_guard<std::mutex> lock(actors_mu_);
+    MutexLock lock(actors_mu_);
     for (auto& [aid, actor] : actors_) {
       actor->mailbox.Close();
       if (actor->thread.joinable()) {
@@ -75,7 +75,7 @@ void Node::Kill() {
   rt_->registry->Remove(id_);
   scheduler_->Shutdown();
   {
-    std::lock_guard<std::mutex> lock(actors_mu_);
+    MutexLock lock(actors_mu_);
     for (auto& [aid, actor] : actors_) {
       actor->mailbox.Close();
       if (actor->thread.joinable()) {
@@ -88,7 +88,7 @@ void Node::Kill() {
 }
 
 size_t Node::NumLiveActors() const {
-  std::lock_guard<std::mutex> lock(actors_mu_);
+  MutexLock lock(actors_mu_);
   return actors_.size();
 }
 
@@ -183,7 +183,7 @@ void Node::CreateActorInstance(const TaskSpec& spec) {
   // the scheduler skips the release when the creation task finishes.
   LiveActor* raw = live.get();
   {
-    std::lock_guard<std::mutex> lock(actors_mu_);
+    MutexLock lock(actors_mu_);
     auto [it, inserted] = actors_.emplace(spec.actor, std::move(live));
     RAY_CHECK(inserted) << "actor created twice on one node";
     raw->thread = std::thread([this, raw] { ActorLoop(raw); });
@@ -195,7 +195,7 @@ void Node::CreateActorInstance(const TaskSpec& spec) {
 }
 
 void Node::DispatchActorTask(const TaskSpec& spec) {
-  std::lock_guard<std::mutex> lock(actors_mu_);
+  MutexLock lock(actors_mu_);
   auto it = actors_.find(spec.actor);
   if (it == actors_.end()) {
     // Can only happen if the node died between readiness and dispatch.

@@ -10,12 +10,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "common/id.h"
 #include "common/queue.h"
+#include "common/sync.h"
 #include "objectstore/object_store.h"
 #include "runtime/context.h"
 #include "scheduler/local_scheduler.h"
@@ -83,8 +83,8 @@ class Node {
   std::atomic<bool> alive_{true};
   std::atomic<uint64_t> actor_methods_executed_{0};
 
-  mutable std::mutex actors_mu_;
-  std::unordered_map<ActorId, std::unique_ptr<LiveActor>> actors_;
+  mutable Mutex actors_mu_{"Node.actors_mu"};
+  std::unordered_map<ActorId, std::unique_ptr<LiveActor>> actors_ GUARDED_BY(actors_mu_);
 };
 
 }  // namespace ray

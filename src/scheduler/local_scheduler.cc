@@ -11,15 +11,23 @@ namespace {
 
 // Locks `mu`, recording the wait in `wait_ema` (microseconds) only when the
 // lock was contended — uncontended acquisitions stay on the fast path.
-std::unique_lock<std::mutex> AcquireTimed(std::mutex& mu, Ema& wait_ema) {
-  std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    Timer timer;
-    lock.lock();
-    wait_ema.Observe(static_cast<double>(timer.ElapsedMicros()));
+class SCOPED_CAPABILITY TimedMutexLock {
+ public:
+  TimedMutexLock(Mutex& mu, Ema& wait_ema) ACQUIRE(mu) : mu_(mu) {
+    if (!mu_.TryLock()) {
+      Timer timer;
+      mu_.Lock();
+      wait_ema.Observe(static_cast<double>(timer.ElapsedMicros()));
+    }
   }
-  return lock;
-}
+  ~TimedMutexLock() RELEASE() { mu_.Unlock(); }
+
+  TimedMutexLock(const TimedMutexLock&) = delete;
+  TimedMutexLock& operator=(const TimedMutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
 
 }  // namespace
 
@@ -33,14 +41,18 @@ LocalScheduler::LocalScheduler(const NodeId& node, gcs::GcsTables* tables, SimNe
       global_(global),
       config_(config),
       liveness_(liveness),
-      available_(config.total_resources) {}
+      available_(config.total_resources),
+      // Constructed here, not in Start(): membership callbacks (OnPeerDeath)
+      // can reach a scheduler that is registered but not yet started, and the
+      // pool pointer must already be valid for them to read.
+      fetch_pool_(std::make_unique<ThreadPool>(
+          static_cast<size_t>(std::max(1, config.num_fetch_threads)))) {}
 
 LocalScheduler::~LocalScheduler() { Shutdown(); }
 
 void LocalScheduler::Start(Executor executor, ActorDispatcher actor_dispatcher) {
   executor_ = std::move(executor);
   actor_dispatcher_ = std::move(actor_dispatcher);
-  fetch_pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(std::max(1, config_.num_fetch_threads)));
   int num_workers = config_.num_workers > 0
                         ? config_.num_workers
                         : std::max(1, static_cast<int>(config_.total_resources.Get("CPU")));
@@ -76,7 +88,7 @@ void LocalScheduler::Shutdown() {
   // their token but are still executing on the store's pull loop.
   std::vector<uint64_t> tokens;
   {
-    std::lock_guard<std::mutex> lock(deps_mu_);
+    MutexLock lock(deps_mu_);
     tokens.reserve(pull_tokens_.size());
     for (const auto& [object, token] : pull_tokens_) {
       tokens.push_back(token);
@@ -88,14 +100,16 @@ void LocalScheduler::Shutdown() {
     store_->CancelPull(token);
   }
   {
-    std::unique_lock<std::mutex> lock(pull_cb_mu_);
-    pull_cb_cv_.wait(lock, [&] { return active_pull_callbacks_ == 0; });
+    MutexLock lock(pull_cb_mu_);
+    while (active_pull_callbacks_ != 0) {
+      pull_cb_cv_.Wait(pull_cb_mu_);
+    }
   }
   // Drop all Object Table subscriptions. Unsubscribe blocks until in-flight
   // callbacks drain, so call it outside deps_mu_.
   std::vector<std::pair<ObjectId, uint64_t>> subs;
   {
-    std::lock_guard<std::mutex> lock(deps_mu_);
+    MutexLock lock(deps_mu_);
     subs.assign(subscriptions_.begin(), subscriptions_.end());
     subscriptions_.clear();
   }
@@ -105,7 +119,7 @@ void LocalScheduler::Shutdown() {
 }
 
 void LocalScheduler::SetObjectUnreachableHandler(ObjectUnreachableHandler handler) {
-  std::lock_guard<std::mutex> lock(deps_mu_);
+  MutexLock lock(deps_mu_);
   unreachable_handler_ = std::move(handler);
 }
 
@@ -113,7 +127,7 @@ Status LocalScheduler::Submit(const TaskSpec& spec) {
   ResourceSet demand = EffectiveDemand(spec);
   bool available_now;
   {
-    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    MutexLock lock(dispatch_mu_);
     // Resources currently held by actors never come back (Section 4.2.2), so
     // "cannot satisfy the task's requirements" must consider availability,
     // not just the node's nominal capacity.
@@ -141,7 +155,7 @@ void LocalScheduler::Enqueue(const TaskSpec& spec) {
   std::vector<ObjectId> to_fetch;
   bool ready_now = false;
   {
-    auto lock = AcquireTimed(deps_mu_, ControlPlaneMetrics::Instance().deps_lock_wait_us);
+    TimedMutexLock lock(deps_mu_, ControlPlaneMetrics::Instance().deps_lock_wait_us);
     PendingTask pending{spec, {}, NowMicros()};
     for (const ObjectId& dep : spec.Dependencies()) {
       if (!store_->ContainsLocal(dep)) {
@@ -161,7 +175,7 @@ void LocalScheduler::Enqueue(const TaskSpec& spec) {
   }
   if (ready_now) {
     {
-      auto lock = AcquireTimed(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
+      TimedMutexLock lock(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
       ready_.push_back({spec, NowMicros()});
     }
     num_ready_.fetch_add(1, std::memory_order_relaxed);
@@ -174,7 +188,7 @@ void LocalScheduler::Enqueue(const TaskSpec& spec) {
 
 void LocalScheduler::EnsureFetch(const ObjectId& object) {
   {
-    std::lock_guard<std::mutex> lock(deps_mu_);
+    MutexLock lock(deps_mu_);
     if (subscriptions_.count(object) == 0) {
       // Location-added events drive retries; fires for local puts too.
       uint64_t token = tables_->objects.SubscribeLocations(
@@ -203,7 +217,7 @@ void LocalScheduler::FetchJob(const ObjectId& object) {
   // (The PullManager dedups cluster-wide interest too, but bounding our own
   // callbacks here keeps waiter lists and token bookkeeping small.)
   {
-    std::lock_guard<std::mutex> lock(deps_mu_);
+    MutexLock lock(deps_mu_);
     if (!fetching_.insert(object).second) {
       return;
     }
@@ -213,7 +227,7 @@ void LocalScheduler::FetchJob(const ObjectId& object) {
     OnPullDone(object, start_us, std::move(s));
   });
   {
-    std::lock_guard<std::mutex> lock(deps_mu_);
+    MutexLock lock(deps_mu_);
     // The callback may already have fired and erased this object's entries;
     // the token we insert is then stale, which CancelPull tolerates.
     if (fetching_.count(object) > 0) {
@@ -224,11 +238,11 @@ void LocalScheduler::FetchJob(const ObjectId& object) {
 
 void LocalScheduler::OnPullDone(const ObjectId& object, int64_t start_us, Status status) {
   {
-    std::lock_guard<std::mutex> lock(pull_cb_mu_);
+    MutexLock lock(pull_cb_mu_);
     ++active_pull_callbacks_;
   }
   {
-    std::lock_guard<std::mutex> lock(deps_mu_);
+    MutexLock lock(deps_mu_);
     fetching_.erase(object);
     pull_tokens_.erase(object);
   }
@@ -251,9 +265,9 @@ void LocalScheduler::OnPullDone(const ObjectId& object, int64_t start_us, Status
   {
     // Notify under the lock: Shutdown's waiter may destroy this scheduler the
     // moment the count hits zero, so the cv must not be touched outside it.
-    std::lock_guard<std::mutex> lock(pull_cb_mu_);
+    MutexLock lock(pull_cb_mu_);
     --active_pull_callbacks_;
-    pull_cb_cv_.notify_all();
+    pull_cb_cv_.NotifyAll();
   }
 }
 
@@ -311,7 +325,7 @@ void LocalScheduler::HandlePullFailure(const ObjectId& object, const Status& sta
   // needed (Fig. 11a).
   ObjectUnreachableHandler handler;
   {
-    std::lock_guard<std::mutex> lock(deps_mu_);
+    MutexLock lock(deps_mu_);
     handler = unreachable_handler_;
   }
   if (handler) {
@@ -324,7 +338,7 @@ void LocalScheduler::OnObjectLocal(const ObjectId& object) {
   uint64_t token = 0;
   bool had_sub = false;
   {
-    auto lock = AcquireTimed(deps_mu_, ControlPlaneMetrics::Instance().deps_lock_wait_us);
+    TimedMutexLock lock(deps_mu_, ControlPlaneMetrics::Instance().deps_lock_wait_us);
     auto bit = blocked_on_.find(object);
     if (bit == blocked_on_.end()) {
       return;
@@ -363,7 +377,7 @@ void LocalScheduler::OnObjectLocal(const ObjectId& object) {
       }
     }
     {
-      auto lock = AcquireTimed(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
+      TimedMutexLock lock(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
       for (auto& [spec, enqueued_us] : promoted) {
         ready_.push_back({std::move(spec), now});
       }
@@ -382,7 +396,7 @@ void LocalScheduler::TryDispatch() {
   std::vector<ReadyTask> to_workers;
   std::vector<ReadyTask> to_actors;
   {
-    auto lock = AcquireTimed(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
+    TimedMutexLock lock(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
     for (auto it = ready_.begin(); it != ready_.end();) {
       const TaskSpec& spec = it->spec;
       if (spec.IsActorTask()) {
@@ -444,7 +458,7 @@ void LocalScheduler::WorkerLoop() {
 void LocalScheduler::FinishTask(const TaskSpec& spec, double duration_s) {
   task_duration_ema_.Observe(duration_s);
   {
-    auto lock = AcquireTimed(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
+    TimedMutexLock lock(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
     if (!spec.IsActorCreation()) {
       // Actor creations never release: the live actor keeps holding its
       // resources until the node dies (Section 4.2.2 resource accounting).
@@ -466,7 +480,7 @@ gcs::Heartbeat LocalScheduler::MakeHeartbeat() const {
   hb.avg_task_duration_s = task_duration_ema_.HasValue() ? task_duration_ema_.Value() : 0.0;
   hb.avg_bandwidth_bytes_s = bandwidth_ema_.HasValue() ? bandwidth_ema_.Value() : 0.0;
   {
-    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    MutexLock lock(dispatch_mu_);
     hb.available = available_;
   }
   hb.total = config_.total_resources;
@@ -485,12 +499,12 @@ void LocalScheduler::ReportHeartbeat() {
 
 void LocalScheduler::OnPeerDeath(const NodeId& node) {
   (void)node;  // any blocked object may have lost its last replica/producer
-  if (shutdown_.load(std::memory_order_relaxed) || !fetch_pool_) {
+  if (shutdown_.load(std::memory_order_relaxed)) {
     return;
   }
   std::vector<ObjectId> blocked;
   {
-    std::lock_guard<std::mutex> lock(deps_mu_);
+    MutexLock lock(deps_mu_);
     blocked.reserve(blocked_on_.size());
     for (const auto& [object, tasks] : blocked_on_) {
       blocked.push_back(object);
@@ -530,7 +544,7 @@ void LocalScheduler::RescueStrandedTasks() {
   // and FetchJob's lineage check (above) is what detects those.
   std::vector<ObjectId> blocked;
   {
-    std::lock_guard<std::mutex> lock(deps_mu_);
+    MutexLock lock(deps_mu_);
     blocked.reserve(blocked_on_.size());
     for (const auto& [object, tasks] : blocked_on_) {
       blocked.push_back(object);
@@ -548,7 +562,7 @@ void LocalScheduler::RescueStrandedTasks() {
   // == 0 no release is coming at all).
   std::vector<TaskSpec> stranded;
   {
-    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    MutexLock lock(dispatch_mu_);
     bool idle = running_.load(std::memory_order_relaxed) == 0;
     int64_t now = NowMicros();
     for (auto it = ready_.begin(); it != ready_.end();) {

@@ -25,11 +25,9 @@
 #define RAY_SCHEDULER_LOCAL_SCHEDULER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -39,6 +37,7 @@
 #include "common/metrics.h"
 #include "common/queue.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "gcs/monitor.h"
 #include "gcs/tables.h"
@@ -161,30 +160,30 @@ class LocalScheduler {
   ActorDispatcher actor_dispatcher_;
 
   // --- waiting side: dependency tracking ---
-  mutable std::mutex deps_mu_;
-  std::unordered_map<TaskId, PendingTask> waiting_;
+  mutable Mutex deps_mu_{"LocalScheduler.deps_mu"};
+  std::unordered_map<TaskId, PendingTask> waiting_ GUARDED_BY(deps_mu_);
   // object -> waiting tasks blocked on it
-  std::unordered_map<ObjectId, std::vector<TaskId>> blocked_on_;
+  std::unordered_map<ObjectId, std::vector<TaskId>> blocked_on_ GUARDED_BY(deps_mu_);
   // object -> GCS subscription token
-  std::unordered_map<ObjectId, uint64_t> subscriptions_;
+  std::unordered_map<ObjectId, uint64_t> subscriptions_ GUARDED_BY(deps_mu_);
   // objects with a pull currently in flight (dedupe guard)
-  std::unordered_set<ObjectId> fetching_;
+  std::unordered_set<ObjectId> fetching_ GUARDED_BY(deps_mu_);
   // object -> PullManager waiter token, for cancellation on Shutdown. May
   // briefly hold a token whose pull already completed (the completion
   // callback can outrun the insert); CancelPull on those is a fast no-op.
-  std::unordered_map<ObjectId, uint64_t> pull_tokens_;
+  std::unordered_map<ObjectId, uint64_t> pull_tokens_ GUARDED_BY(deps_mu_);
   // Shutdown barrier: a completion callback erases its token on entry, so
   // the token-cancellation snapshot can miss it — this counter covers the
   // gap (Shutdown waits for it to drain after cancelling).
-  std::mutex pull_cb_mu_;
-  std::condition_variable pull_cb_cv_;
-  int active_pull_callbacks_ = 0;
-  ObjectUnreachableHandler unreachable_handler_;
+  Mutex pull_cb_mu_{"LocalScheduler.pull_cb_mu"};
+  CondVar pull_cb_cv_;
+  int active_pull_callbacks_ GUARDED_BY(pull_cb_mu_) = 0;
+  ObjectUnreachableHandler unreachable_handler_ GUARDED_BY(deps_mu_);
 
   // --- dispatch side: resource gating ---
-  mutable std::mutex dispatch_mu_;
-  std::deque<ReadyTask> ready_;
-  ResourceSet available_;
+  mutable Mutex dispatch_mu_{"LocalScheduler.dispatch_mu"};
+  std::deque<ReadyTask> ready_ GUARDED_BY(dispatch_mu_);
+  ResourceSet available_ GUARDED_BY(dispatch_mu_);
 
   // Lock-free queue accounting so Submit / heartbeats never take a lock.
   std::atomic<size_t> num_waiting_{0};

@@ -4,10 +4,10 @@
 #ifndef RAY_SCHEDULER_REGISTRY_H_
 #define RAY_SCHEDULER_REGISTRY_H_
 
-#include <mutex>
 #include <unordered_map>
 
 #include "common/id.h"
+#include "common/sync.h"
 
 namespace ray {
 
@@ -16,24 +16,24 @@ class LocalScheduler;
 class LocalSchedulerRegistry {
  public:
   void Register(const NodeId& node, LocalScheduler* scheduler) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     schedulers_[node] = scheduler;
   }
 
   void Remove(const NodeId& node) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     schedulers_.erase(node);
   }
 
   LocalScheduler* Lookup(const NodeId& node) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = schedulers_.find(node);
     return it == schedulers_.end() ? nullptr : it->second;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<NodeId, LocalScheduler*> schedulers_;
+  mutable Mutex mu_{"LocalSchedulerRegistry.mu"};
+  std::unordered_map<NodeId, LocalScheduler*> schedulers_ GUARDED_BY(mu_);
 };
 
 }  // namespace ray

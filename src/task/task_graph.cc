@@ -7,7 +7,7 @@
 namespace ray {
 
 void TaskGraph::AddTask(const TaskSpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = tasks_.emplace(spec.id, TaskNode{spec, {}});
   if (!inserted) {
     return;  // idempotent (re-submission during reconstruction)
@@ -38,12 +38,12 @@ void TaskGraph::AddTask(const TaskSpec& spec) {
 }
 
 size_t TaskGraph::NumTasks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tasks_.size();
 }
 
 size_t TaskGraph::NumEdges(EdgeType type) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   switch (type) {
     case EdgeType::kData:
       return num_data_edges_;
@@ -56,12 +56,12 @@ size_t TaskGraph::NumEdges(EdgeType type) const {
 }
 
 bool TaskGraph::HasTask(const TaskId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tasks_.count(id) > 0;
 }
 
 std::vector<TaskId> TaskGraph::Children(const TaskId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tasks_.find(id);
   if (it == tasks_.end()) {
     return {};
@@ -70,7 +70,7 @@ std::vector<TaskId> TaskGraph::Children(const TaskId& id) const {
 }
 
 bool TaskGraph::LookupProducer(const ObjectId& object, TaskId* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = producer_.find(object);
   if (it == producer_.end()) {
     return false;
@@ -80,7 +80,7 @@ bool TaskGraph::LookupProducer(const ObjectId& object, TaskId* out) const {
 }
 
 std::vector<TaskId> TaskGraph::LineageOf(const ObjectId& object) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TaskId> result;
   std::unordered_set<TaskId> seen;
   std::deque<ObjectId> frontier{object};
@@ -108,7 +108,7 @@ std::vector<TaskId> TaskGraph::LineageOf(const ObjectId& object) const {
 }
 
 std::vector<TaskId> TaskGraph::TopologicalOrder() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Kahn's algorithm over data + stateful dependencies.
   std::unordered_map<TaskId, size_t> indegree;
   std::unordered_map<TaskId, std::vector<TaskId>> successors;
@@ -146,7 +146,7 @@ std::vector<TaskId> TaskGraph::TopologicalOrder() const {
 }
 
 std::string TaskGraph::ToDot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   out << "digraph tasks {\n";
   for (const auto& [id, node] : tasks_) {

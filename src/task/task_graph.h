@@ -8,13 +8,13 @@
 #ifndef RAY_TASK_TASK_GRAPH_H_
 #define RAY_TASK_TASK_GRAPH_H_
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/id.h"
+#include "common/sync.h"
 #include "task/task_spec.h"
 
 namespace ray {
@@ -64,12 +64,12 @@ class TaskGraph {
     std::vector<TaskId> control_children;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<TaskId, TaskNode> tasks_;
-  std::unordered_map<ObjectId, TaskId> producer_;  // object -> producing task
-  size_t num_data_edges_ = 0;
-  size_t num_control_edges_ = 0;
-  size_t num_stateful_edges_ = 0;
+  mutable Mutex mu_{"TaskGraph.mu"};
+  std::unordered_map<TaskId, TaskNode> tasks_ GUARDED_BY(mu_);
+  std::unordered_map<ObjectId, TaskId> producer_ GUARDED_BY(mu_);  // object -> producing task
+  size_t num_data_edges_ GUARDED_BY(mu_) = 0;
+  size_t num_control_edges_ GUARDED_BY(mu_) = 0;
+  size_t num_stateful_edges_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ray

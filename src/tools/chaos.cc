@@ -18,7 +18,7 @@ void ChaosSchedule::Protect(const NodeId& node) { protected_.insert(node); }
 
 void ChaosSchedule::Start() {
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    MutexLock lock(stop_mu_);
     if (!stop_) {
       return;
     }
@@ -29,13 +29,13 @@ void ChaosSchedule::Start() {
 
 void ChaosSchedule::Stop() {
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    MutexLock lock(stop_mu_);
     if (stop_) {
       return;
     }
     stop_ = true;
+    stop_cv_.NotifyAll();
   }
-  stop_cv_.notify_all();
   if (thread_.joinable()) {
     thread_.join();
   }
@@ -55,7 +55,7 @@ void ChaosSchedule::Stop() {
     cluster_->AddNode();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.rejoins += rejoins_due_us_.size();
   }
   rejoins_due_us_.clear();
@@ -63,7 +63,7 @@ void ChaosSchedule::Stop() {
 }
 
 ChaosSchedule::Stats ChaosSchedule::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -88,16 +88,15 @@ std::vector<NodeId> ChaosSchedule::KillableNodes() {
 }
 
 void ChaosSchedule::Loop() {
-  std::unique_lock<std::mutex> lock(stop_mu_);
+  MutexLock lock(stop_mu_);
   while (!stop_) {
-    stop_cv_.wait_for(lock, std::chrono::microseconds(config_.tick_interval_us),
-                      [&] { return stop_; });
+    stop_cv_.WaitFor(stop_mu_, std::chrono::microseconds(config_.tick_interval_us));
     if (stop_) {
       return;
     }
-    lock.unlock();
+    lock.Unlock();
     Tick();
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -110,7 +109,7 @@ void ChaosSchedule::Tick() {
     if (it->first <= now) {
       net.SetPartitioned(it->second.first, it->second.second, false);
       it = partition_heals_.erase(it);
-      std::lock_guard<std::mutex> slock(mu_);
+      MutexLock slock(mu_);
       ++stats_.partition_heals;
     } else {
       ++it;
@@ -120,7 +119,7 @@ void ChaosSchedule::Tick() {
     if (it->first <= now) {
       net.SetNodeBandwidthScale(it->second, 1.0);
       it = throttle_heals_.erase(it);
-      std::lock_guard<std::mutex> slock(mu_);
+      MutexLock slock(mu_);
       ++stats_.throttle_heals;
     } else {
       ++it;
@@ -131,7 +130,7 @@ void ChaosSchedule::Tick() {
       NodeId id = cluster_->AddNode();
       RAY_LOG(INFO) << "chaos: node " << ToShortString(id) << " joined";
       it = rejoins_due_us_.erase(it);
-      std::lock_guard<std::mutex> slock(mu_);
+      MutexLock slock(mu_);
       ++stats_.rejoins;
     } else {
       ++it;
@@ -147,7 +146,7 @@ void ChaosSchedule::Tick() {
       RAY_LOG(INFO) << "chaos: killing node " << ToShortString(victim);
       cluster_->KillNode(victim);
       rejoins_due_us_.push_back(now + config_.rejoin_delay_us);
-      std::lock_guard<std::mutex> slock(mu_);
+      MutexLock slock(mu_);
       ++stats_.kills;
     }
   }
@@ -165,7 +164,7 @@ void ChaosSchedule::Tick() {
       net.SetPartitioned(pool[a], pool[b], true);
       partition_heals_.emplace_back(now + config_.partition_duration_us,
                                     std::make_pair(pool[a], pool[b]));
-      std::lock_guard<std::mutex> slock(mu_);
+      MutexLock slock(mu_);
       ++stats_.partitions;
     }
   }
@@ -177,7 +176,7 @@ void ChaosSchedule::Tick() {
       NodeId slow = pool[rng_.UniformInt(0, static_cast<int64_t>(pool.size()) - 1)];
       net.SetNodeBandwidthScale(slow, config_.throttle_scale);
       throttle_heals_.emplace_back(now + config_.throttle_duration_us, slow);
-      std::lock_guard<std::mutex> slock(mu_);
+      MutexLock slock(mu_);
       ++stats_.throttles;
     }
   }

@@ -12,9 +12,7 @@
 #define RAY_TOOLS_CHAOS_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 #include <utility>
@@ -22,6 +20,7 @@
 
 #include "common/id.h"
 #include "common/random.h"
+#include "common/sync.h"
 #include "runtime/cluster.h"
 
 namespace ray {
@@ -88,12 +87,12 @@ class ChaosSchedule {
   std::vector<std::pair<int64_t, std::pair<NodeId, NodeId>>> partition_heals_;
   std::vector<std::pair<int64_t, NodeId>> throttle_heals_;
 
-  mutable std::mutex mu_;  // guards stats_ (loop state is loop-thread-only)
-  Stats stats_;
+  mutable Mutex mu_{"ChaosSchedule.mu"};  // loop state is loop-thread-only
+  Stats stats_ GUARDED_BY(mu_);
 
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
-  bool stop_ = true;
+  Mutex stop_mu_{"ChaosSchedule.stop_mu"};
+  CondVar stop_cv_;
+  bool stop_ GUARDED_BY(stop_mu_) = true;
   std::thread thread_;
 };
 

@@ -1,6 +1,7 @@
 #include "trace/trace.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "trace/collector.h"
@@ -78,7 +79,7 @@ Tracer& Tracer::Instance() {
 
 void Tracer::Configure(const TraceConfig& config) {
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     config_ = config;
     rings_.clear();
     intern_ids_.clear();
@@ -96,7 +97,7 @@ void Tracer::Configure(const TraceConfig& config) {
 }
 
 TraceConfig Tracer::config() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   TraceConfig copy = config_;
   copy.mode = mode_.load(std::memory_order_relaxed);
   return copy;
@@ -114,7 +115,7 @@ Tracer::Ring* Tracer::LocalRing() {
   if (tls.ring == nullptr || tls.generation != generation) {
     auto ring = std::make_shared<Ring>(ring_capacity_.load(std::memory_order_relaxed));
     {
-      std::lock_guard<std::mutex> lock(registry_mu_);
+      MutexLock lock(registry_mu_);
       rings_.push_back(ring);
     }
     tls.ring = std::move(ring);
@@ -167,7 +168,7 @@ void Tracer::EmitUser(const std::string& source, const std::string& label, int64
 }
 
 uint32_t Tracer::Intern(const std::string& s) {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   auto it = intern_ids_.find(s);
   if (it != intern_ids_.end()) {
     return it->second;
@@ -179,14 +180,14 @@ uint32_t Tracer::Intern(const std::string& s) {
 }
 
 std::string Tracer::InternedString(uint32_t id) const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   return id < intern_strings_.size() ? intern_strings_[id] : std::string();
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() {
   std::vector<std::shared_ptr<Ring>> rings;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     rings = rings_;
   }
   paused_.store(true, std::memory_order_seq_cst);
@@ -218,7 +219,7 @@ std::vector<TraceEvent> Tracer::Snapshot() {
 
 void Tracer::Clear() {
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(registry_mu_);
     rings_.clear();
     intern_ids_.clear();
     intern_strings_.clear();
@@ -227,7 +228,7 @@ void Tracer::Clear() {
 }
 
 uint64_t Tracer::EventsRecorded() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   uint64_t total = 0;
   for (const auto& ring : rings_) {
     total += ring->head.load(std::memory_order_relaxed);
@@ -236,7 +237,7 @@ uint64_t Tracer::EventsRecorded() const {
 }
 
 uint64_t Tracer::EventsDropped() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(registry_mu_);
   uint64_t total = 0;
   for (const auto& ring : rings_) {
     uint64_t head = ring->head.load(std::memory_order_relaxed);
@@ -251,12 +252,17 @@ uint64_t Tracer::EventsDropped() const {
 HangWatchdog::HangWatchdog(int64_t timeout_us, std::string dump_path)
     : dump_path_(std::move(dump_path)) {
   thread_ = std::thread([this, timeout_us] {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
-                     [this] { return disarmed_.load(std::memory_order_acquire); })) {
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(timeout_us);
+    MutexLock lock(mu_);
+    while (!disarmed_.load(std::memory_order_acquire)) {
+      if (!cv_.WaitUntil(mu_, deadline)) {
+        break;  // timed out
+      }
+    }
+    if (disarmed_.load(std::memory_order_acquire)) {
       return;
     }
-    lock.unlock();
+    lock.Unlock();
     RAY_LOG(ERROR) << "hang watchdog fired after " << timeout_us
                    << "us; dumping flight record to " << dump_path_;
     DumpFlightRecord(dump_path_, "hang-watchdog");
@@ -273,10 +279,12 @@ HangWatchdog::~HangWatchdog() {
 
 void HangWatchdog::Disarm() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Notify under the lock: the watchdog thread owns no reference that keeps
+    // this object alive once it observes disarmed_.
+    MutexLock lock(mu_);
     disarmed_.store(true, std::memory_order_release);
+    cv_.NotifyAll();
   }
-  cv_.notify_all();
 }
 
 }  // namespace trace

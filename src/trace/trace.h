@@ -33,10 +33,8 @@
 #define RAY_TRACE_TRACE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -44,6 +42,7 @@
 
 #include "common/clock.h"
 #include "common/id.h"
+#include "common/sync.h"
 
 namespace ray {
 namespace trace {
@@ -200,11 +199,12 @@ class Tracer {
   // Bumped by Configure/Clear so threads re-register their rings.
   std::atomic<uint64_t> generation_{1};
 
-  mutable std::mutex registry_mu_;
-  std::vector<std::shared_ptr<Ring>> rings_;
-  TraceConfig config_;  // full copy for config(); atomics above are the hot mirrors
-  std::unordered_map<std::string, uint32_t> intern_ids_;
-  std::vector<std::string> intern_strings_;
+  mutable Mutex registry_mu_{"Tracer.registry_mu"};
+  std::vector<std::shared_ptr<Ring>> rings_ GUARDED_BY(registry_mu_);
+  // Full copy for config(); the atomics above are the hot mirrors.
+  TraceConfig config_ GUARDED_BY(registry_mu_);
+  std::unordered_map<std::string, uint32_t> intern_ids_ GUARDED_BY(registry_mu_);
+  std::vector<std::string> intern_strings_ GUARDED_BY(registry_mu_);
 };
 
 // RAII span: samples and stamps the start at construction, emits on
@@ -264,8 +264,8 @@ class HangWatchdog {
   std::string dump_path_;
   std::atomic<bool> disarmed_{false};
   std::atomic<bool> fired_{false};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_{"HangWatchdog.mu"};
+  CondVar cv_;
   std::thread thread_;
 };
 
