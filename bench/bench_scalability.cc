@@ -8,8 +8,11 @@
 // ablations from DESIGN.md follow: forcing every submission through the
 // global scheduler (bottom-up off), and GCS shard count. Results land in
 // BENCH_scalability.json (throughput, submit-latency percentiles, config).
+#include <atomic>
 #include <cstdio>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/clock.h"
@@ -28,23 +31,35 @@ int SleepTask(int ms) {
 
 struct RunResult {
   double tasks_per_s = 0;
+  // Injection rate: tasks submitted / time until the last driver finished its
+  // submit loop. With leasing this decouples from completion throughput —
+  // submission no longer waits on the scheduler or the GCS.
+  double submit_tasks_per_s = 0;
   // Driver-side ray.Call latency (task submission path), microseconds.
   double submit_p50_us = 0;
   double submit_p95_us = 0;
   double submit_p99_us = 0;
+  // Direct-transport accounting (0 when leasing is disabled).
+  uint64_t direct_submits = 0;
+  uint64_t lease_fallbacks = 0;
 };
 
 RunResult RunThroughput(int num_nodes, int tasks_per_node, int task_ms, bool always_forward,
-                        int gcs_shards) {
+                        int gcs_shards, bool enable_leasing = true) {
   ClusterConfig config;
   config.num_nodes = num_nodes;
   config.scheduler.total_resources = ResourceSet::Cpu(4);
   config.scheduler.num_workers = 4;
   config.scheduler.spillover_queue_threshold = 1u << 20;  // keep tasks local
   config.scheduler.always_forward_to_global = always_forward;
+  config.scheduler.enable_leasing = enable_leasing;
   config.gcs.num_shards = gcs_shards;
   config.num_global_schedulers = 2;
   config.net.control_latency_us = 20;
+  // Throughput runs oversubscribe small CI hosts; a saturated core can starve
+  // heartbeat threads past the default window and mass false deaths wreck the
+  // measurement. Detection latency is bench_failure_recovery's job, not ours.
+  config.monitor.miss_threshold = 50;
   Cluster cluster(config);
   cluster.RegisterFunction("sleep_task", &SleepTask);
   SleepMicros(30'000);  // first heartbeats
@@ -54,7 +69,9 @@ RunResult RunThroughput(int num_nodes, int tasks_per_node, int task_ms, bool alw
   Mutex lat_mu{"bench_scalability.lat_mu"};
   std::vector<double> submit_lat_us;
   submit_lat_us.reserve(static_cast<size_t>(num_nodes) * tasks_per_node);
+  std::atomic<int64_t> last_submit_done_us{0};
   Timer timer;
+  int64_t start_us = NowMicros();
   std::vector<std::thread> drivers;
   for (int n = 0; n < num_nodes; ++n) {
     drivers.emplace_back([&, n] {
@@ -67,6 +84,11 @@ RunResult RunThroughput(int num_nodes, int tasks_per_node, int task_ms, bool alw
         Timer call_timer;
         refs.push_back(ray.Call<int>("sleep_task", task_ms));
         lat.push_back(static_cast<double>(call_timer.ElapsedMicros()));
+      }
+      int64_t done_us = NowMicros();
+      int64_t prev = last_submit_done_us.load(std::memory_order_relaxed);
+      while (prev < done_us &&
+             !last_submit_done_us.compare_exchange_weak(prev, done_us, std::memory_order_relaxed)) {
       }
       for (auto& ref : refs) {
         auto r = ray.Get(ref, 300'000'000);
@@ -82,26 +104,103 @@ RunResult RunThroughput(int num_nodes, int tasks_per_node, int task_ms, bool alw
   double seconds = timer.ElapsedSeconds();
   RunResult result;
   result.tasks_per_s = static_cast<double>(num_nodes) * tasks_per_node / seconds;
+  double submit_seconds =
+      static_cast<double>(last_submit_done_us.load(std::memory_order_relaxed) - start_us) / 1e6;
+  result.submit_tasks_per_s =
+      submit_seconds > 0 ? static_cast<double>(num_nodes) * tasks_per_node / submit_seconds : 0;
   result.submit_p50_us = bench::Percentile(submit_lat_us, 0.50);
   result.submit_p95_us = bench::Percentile(submit_lat_us, 0.95);
   result.submit_p99_us = bench::Percentile(submit_lat_us, 0.99);
+  for (int n = 0; n < num_nodes; ++n) {
+    result.direct_submits += cluster.node(n).transport().NumDirectSubmits();
+    result.lease_fallbacks += cluster.node(n).transport().NumFallbacks();
+  }
   return result;
+}
+
+// Leased-vs-routed ablation on empty tasks: with task_ms=0 the submit path
+// IS the workload, so this isolates what direct task transport buys over
+// per-task scheduler routing + synchronous lineage writes.
+void AddSmallTaskRow(bench::BenchJson& json, const char* row, int nodes, const RunResult& r) {
+  json.AddRow(row, {{"nodes", static_cast<double>(nodes)},
+                    {"tasks_per_s", r.tasks_per_s},
+                    {"submit_tasks_per_s", r.submit_tasks_per_s},
+                    {"submit_p50_us", r.submit_p50_us},
+                    {"submit_p95_us", r.submit_p95_us},
+                    {"submit_p99_us", r.submit_p99_us},
+                    {"direct_submits", static_cast<double>(r.direct_submits)},
+                    {"lease_fallbacks", static_cast<double>(r.lease_fallbacks)}});
+}
+
+void RunSmallTaskAblation(bench::BenchJson& json, int per_node, const std::vector<int>& node_counts) {
+  std::printf("\n-- small-task ablation (task_ms=0): leased (direct transport) vs routed --\n");
+  std::printf("(submit t/s = injection rate; done t/s = end-to-end completions, bounded on this\n");
+  std::printf(" host by the simulator's chain-replication CPU, which both variants share)\n");
+  std::printf("%-6s %-15s %-15s %-9s %-12s %-12s %-11s %-8s\n", "nodes", "submit t/s (L)",
+              "submit t/s (R)", "submit x", "done t/s(L)", "done t/s(R)", "p50us(L/R)", "direct%");
+  for (int nodes : node_counts) {
+    RunResult leased = RunThroughput(nodes, per_node, 0, false, 4, true);
+    RunResult routed = RunThroughput(nodes, per_node, 0, false, 4, false);
+    double total_tasks = static_cast<double>(nodes) * per_node;
+    double direct_frac = leased.direct_submits / total_tasks;
+    char p50[32];
+    std::snprintf(p50, sizeof(p50), "%.0f/%.0f", leased.submit_p50_us, routed.submit_p50_us);
+    std::printf("%-6d %-15.0f %-15.0f %-9.1f %-12.0f %-12.0f %-11s %-8.1f\n", nodes,
+                leased.submit_tasks_per_s, routed.submit_tasks_per_s,
+                leased.submit_tasks_per_s / routed.submit_tasks_per_s, leased.tasks_per_s,
+                routed.tasks_per_s, p50, 100.0 * direct_frac);
+    AddSmallTaskRow(json, "smalltask_leased", nodes, leased);
+    AddSmallTaskRow(json, "smalltask_routed", nodes, routed);
+  }
 }
 
 }  // namespace
 }  // namespace ray
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ray;
+  bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
   bench::Banner("Figure 8b", "task throughput vs cluster size (+ scheduling/GCS ablations)",
                 "nodes 10-100 -> 1-16; 4 workers/node; 2ms tasks (paper's 5ms-task sizing argument, scaled)");
-  int per_node = bench::QuickMode() ? 100 : 300;
+  int per_node = bench::QuickMode() || smoke ? 100 : 300;
   bench::BenchJson json("scalability");
-  json.Set("task_ms", kTaskMs)
+  json.Set("version", 2)
+      .Set("note",
+           "v2 adds the small-task (task_ms=0) leased-vs-routed ablation: 'leased' = direct "
+           "task transport (worker leases + async lineage), 'routed' = per-task scheduler path "
+           "(enable_leasing=false). On a single-core host end-to-end completions are bounded by "
+           "the simulator's chain-replication CPU, shared by both variants; the submit-path win "
+           "shows in submit_p50_us (per-call cost) and per-driver capability 1e6/submit_p50_us.")
+      .Set("task_ms", kTaskMs)
       .Set("tasks_per_node", per_node)
       .Set("workers_per_node", 4)
       .Set("gcs_shards", 4)
       .Set("control_latency_us", 20);
+
+  if (smoke) {
+    // CI variant: one leased-vs-routed pair on a small cluster, asserting the
+    // direct path actually carried the leased run.
+    RunResult leased = RunThroughput(2, per_node, 0, false, 4, true);
+    RunResult routed = RunThroughput(2, per_node, 0, false, 4, false);
+    std::printf("smoke: leased %.0f submit/s, %.0f done/s (p50 %.1fus, %llu direct / %llu "
+                "fallback)  routed %.0f submit/s, %.0f done/s (p50 %.1fus)\n",
+                leased.submit_tasks_per_s, leased.tasks_per_s, leased.submit_p50_us,
+                static_cast<unsigned long long>(leased.direct_submits),
+                static_cast<unsigned long long>(leased.lease_fallbacks), routed.submit_tasks_per_s,
+                routed.tasks_per_s, routed.submit_p50_us);
+    AddSmallTaskRow(json, "smalltask_leased", 2, leased);
+    AddSmallTaskRow(json, "smalltask_routed", 2, routed);
+    json.Write();
+    if (leased.direct_submits == 0) {
+      std::fprintf(stderr, "smoke FAIL: leased run made zero direct submits\n");
+      return 1;
+    }
+    if (routed.direct_submits != 0) {
+      std::fprintf(stderr, "smoke FAIL: routed run used the direct path\n");
+      return 1;
+    }
+    return 0;
+  }
 
   std::printf("-- throughput scaling (bottom-up scheduling, 4 GCS shards) --\n");
   std::printf("%-8s %-14s %-10s %-12s %-12s\n", "nodes", "tasks/s", "speedup", "submit p50us",
@@ -140,6 +239,12 @@ int main() {
     json.AddRow("shard_ablation",
                 {{"shards", static_cast<double>(shards)}, {"tasks_per_s", r.tasks_per_s}});
   }
+
+  // Empty tasks expose the submit path itself; more per node so each point
+  // runs long enough to measure (an empty task costs ~no execution time).
+  int per_small = bench::QuickMode() ? 500 : 2000;
+  json.Set("smalltask_tasks_per_node", per_small);
+  RunSmallTaskAblation(json, per_small, {1, 2, 4, 8, 16});
   json.Write();
   return 0;
 }

@@ -8,7 +8,7 @@ cd "$(dirname "$0")/.."
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j"$(nproc)" \
   --target gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test \
-  chaos_test
+  lease_test chaos_test
 
 export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
@@ -16,6 +16,11 @@ for t in gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_t
   echo "== ASan/UBSan: $t =="
   ./build-asan/tests/"$t"
 done
+
+# Lease kill tests widen their failure-detection window under sanitizer
+# slowdown, like the chaos soak below.
+echo "== ASan/UBSan: lease_test =="
+RAY_LEASE_HEARTBEAT_US=20000 RAY_LEASE_MISS_THRESHOLD=8 ./build-asan/tests/lease_test
 
 # Widened detection window for the chaos soak: sanitizer slowdown must never
 # starve a live node's heartbeat thread into a false death (same knobs as the

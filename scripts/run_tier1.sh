@@ -30,6 +30,10 @@ echo "trace_dump smoke: OK (build/trace.json)"
 # sizes; exits nonzero if any pull fails.
 RAY_BENCH_JSON_DIR=build ./build/bench/bench_object_store --smoke
 
+# Submit-path smoke check: one leased-vs-routed small-task pair; exits nonzero
+# if the direct transport path carried zero tasks (leasing silently disabled).
+RAY_BENCH_JSON_DIR=build ./build/bench/bench_scalability --smoke
+
 # Chaos gate: seeded fault-injection soak (kills, partitions, throttles,
 # packet loss) over a bounded set of fixed seeds.
 ./scripts/run_chaos.sh

@@ -8,6 +8,7 @@
 #   net_objectstore_test - shared-mutex object store, sim network
 #   pull_manager_test    - async pull dedup, chunk pipeline, mid-pull failover
 #   trace_test           - lock-free trace rings, pause handshake vs snapshot
+#   lease_test           - direct transport: lease grant/revoke races, async lineage
 #   chaos_test           - chaos soak: detector + recovery under seeded faults
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,13 +16,18 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j"$(nproc)" \
   --target gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test \
-  chaos_test
+  lease_test chaos_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 for t in gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test; do
   echo "== TSan: $t =="
   ./build-tsan/tests/"$t"
 done
+
+# Lease kill tests widen their failure-detection window under TSan slowdown,
+# like the chaos soak below.
+echo "== TSan: lease_test =="
+RAY_LEASE_HEARTBEAT_US=20000 RAY_LEASE_MISS_THRESHOLD=8 ./build-tsan/tests/lease_test
 
 # The chaos soak runs with a widened detection window: TSan's slowdown must
 # never starve a live node's heartbeat thread into a false death.

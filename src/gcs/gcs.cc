@@ -43,6 +43,17 @@ Status Gcs::ShardBatcher::Execute(ChainOp op, bool publish) {
   return slot.status;
 }
 
+void Gcs::ShardBatcher::ExecuteAsync(ChainOp op, bool publish,
+                                     std::function<void(Status)> done) {
+  Slot* slot = new Slot();
+  slot->op = std::move(op);
+  slot->publish = publish;
+  slot->callback = std::move(done);
+  MutexLock lock(mu_);
+  queue_.push_back(slot);
+  work_cv_.NotifyOne();
+}
+
 void Gcs::ShardBatcher::FlusherLoop() {
   std::vector<Slot*> batch;
   std::vector<ChainOp> ops;
@@ -91,8 +102,21 @@ void Gcs::ShardBatcher::FlusherLoop() {
       }
     }
 
+    // Async completions run here, outside mu_, so a callback may issue
+    // further GCS writes (even to this shard) without a lock cycle.
+    for (Slot*& slot : batch) {
+      if (slot->callback) {
+        slot->callback(status);
+        delete slot;
+        slot = nullptr;
+      }
+    }
+
     lock.Lock();
     for (Slot* slot : batch) {
+      if (slot == nullptr) {
+        continue;  // async slot, already completed and freed
+      }
       slot->status = status;
       slot->done = true;
     }
@@ -168,6 +192,37 @@ Status Gcs::Append(const std::string& key, const std::string& element) {
   RAY_RETURN_NOT_OK(Write({ChainOp::Kind::kAppend, key, element}, /*publish=*/true));
   MaybeAutoFlush();
   return Status::Ok();
+}
+
+void Gcs::PutAsync(const std::string& key, const std::string& value, WriteCallback done) {
+  ChainOp op{ChainOp::Kind::kPut, key, value};
+  size_t index = ShardIndexFor(key);
+  if (!batchers_.empty()) {
+    batchers_[index]->ExecuteAsync(std::move(op), /*publish=*/true, std::move(done));
+    return;
+  }
+  // Batching disabled: commit inline (the auto-flush check rides along, as
+  // in the synchronous path).
+  Status status = Write(std::move(op), /*publish=*/true);
+  if (status.ok()) {
+    MaybeAutoFlush();
+  }
+  done(status);
+}
+
+void Gcs::AppendAsync(const std::string& key, const std::string& element,
+                      WriteCallback done) {
+  ChainOp op{ChainOp::Kind::kAppend, key, element};
+  size_t index = ShardIndexFor(key);
+  if (!batchers_.empty()) {
+    batchers_[index]->ExecuteAsync(std::move(op), /*publish=*/true, std::move(done));
+    return;
+  }
+  Status status = Write(std::move(op), /*publish=*/true);
+  if (status.ok()) {
+    MaybeAutoFlush();
+  }
+  done(status);
 }
 
 Result<std::string> Gcs::Get(const std::string& key) const { return ShardFor(key).Get(key); }

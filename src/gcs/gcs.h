@@ -64,6 +64,18 @@ class Gcs {
 
   Status Put(const std::string& key, const std::string& value);
   Status Append(const std::string& key, const std::string& element);
+
+  // Asynchronous writes: enqueue the op into the shard's group-commit round
+  // and return immediately; `done(status)` runs after the chain round commits
+  // and the publish has been queued, on the batcher's flusher thread (outside
+  // every batcher lock, so the callback may issue further GCS writes). When
+  // batching is disabled (batch_max_ops <= 1) the write commits inline on the
+  // caller's thread and `done` runs before the call returns. These are the
+  // backbone of the async lineage path: submitters fire-and-count, and a
+  // durability watermark advances in the callbacks.
+  using WriteCallback = std::function<void(Status)>;
+  void PutAsync(const std::string& key, const std::string& value, WriteCallback done);
+  void AppendAsync(const std::string& key, const std::string& element, WriteCallback done);
   Result<std::string> Get(const std::string& key) const;
   Result<std::vector<std::string>> GetList(const std::string& key) const;
   Status Delete(const std::string& key);
@@ -111,6 +123,10 @@ class Gcs {
     ~ShardBatcher();
 
     Status Execute(ChainOp op, bool publish);
+    // Fire-and-forget variant: the slot is heap-owned and `done` is invoked
+    // on the flusher thread outside mu_ once the batch commits (so callbacks
+    // can re-enter the GCS without a lock cycle).
+    void ExecuteAsync(ChainOp op, bool publish, std::function<void(Status)> done);
 
    private:
     struct Slot {
@@ -118,6 +134,9 @@ class Gcs {
       bool publish = false;
       Status status;
       bool done = false;
+      // Non-null for async slots: heap-owned, freed by the flusher after the
+      // callback runs. Sync slots are stack-owned by their blocked writer.
+      std::function<void(Status)> callback;
     };
 
     void FlusherLoop();

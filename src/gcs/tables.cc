@@ -89,6 +89,11 @@ Status ObjectTable::RecordCreatingTask(const ObjectId& object, const TaskId& tas
   return gcs_->Put(ObjTaskKey(object), task.Binary());
 }
 
+void ObjectTable::RecordCreatingTaskAsync(const ObjectId& object, const TaskId& task,
+                                          Gcs::WriteCallback done) {
+  gcs_->PutAsync(ObjTaskKey(object), task.Binary(), std::move(done));
+}
+
 Result<TaskId> ObjectTable::GetCreatingTask(const ObjectId& object) const {
   auto v = gcs_->Get(ObjTaskKey(object));
   if (!v.ok()) {
@@ -126,6 +131,19 @@ Status TaskTable::SetState(const TaskId& task, TaskState state, const NodeId& no
   v.push_back(static_cast<char>(state));
   v += node.Binary();
   return gcs_->Put(TaskStateKey(task), v);
+}
+
+void TaskTable::AddTaskAsync(const TaskId& task, const std::string& spec_bytes,
+                             Gcs::WriteCallback done) {
+  gcs_->PutAsync(kSpecPrefix + task.Binary(), spec_bytes, std::move(done));
+}
+
+void TaskTable::SetStateAsync(const TaskId& task, TaskState state, const NodeId& node,
+                              Gcs::WriteCallback done) {
+  std::string v;
+  v.push_back(static_cast<char>(state));
+  v += node.Binary();
+  gcs_->PutAsync(TaskStateKey(task), v, std::move(done));
 }
 
 Result<std::pair<TaskState, NodeId>> TaskTable::GetState(const TaskId& task) const {

@@ -45,6 +45,10 @@ class ObjectTable {
   void UnsubscribeLocations(const ObjectId& object, uint64_t token);
 
   Status RecordCreatingTask(const ObjectId& object, const TaskId& task);
+  // Async variant for the lineage buffer: returns immediately, `done(status)`
+  // runs once the record is durable (see Gcs::PutAsync for callback context).
+  void RecordCreatingTaskAsync(const ObjectId& object, const TaskId& task,
+                               Gcs::WriteCallback done);
   Result<TaskId> GetCreatingTask(const ObjectId& object) const;
 
  private:
@@ -69,6 +73,12 @@ class TaskTable {
   Result<std::string> GetSpec(const TaskId& task) const;
   Status SetState(const TaskId& task, TaskState state, const NodeId& node);
   Result<std::pair<TaskState, NodeId>> GetState(const TaskId& task) const;
+
+  // Async variants for the lineage buffer (fire-and-count; durability is
+  // tracked by the caller through the completion callbacks).
+  void AddTaskAsync(const TaskId& task, const std::string& spec_bytes, Gcs::WriteCallback done);
+  void SetStateAsync(const TaskId& task, TaskState state, const NodeId& node,
+                     Gcs::WriteCallback done);
 
  private:
   Gcs* gcs_;

@@ -38,9 +38,11 @@ struct ObjectStoreConfig {
   size_t parallel_copy_threshold = 512 * 1024;
   // Penalty bandwidth for reading an object back from the disk tier.
   double disk_read_bytes_per_sec = 500e6;
-  // Chunk size for the pipelined pull path; 0 = monolithic single-chunk
-  // pulls (the pre-refactor behavior, kept for the bench ablation).
-  size_t pull_chunk_bytes = 8ull << 20;
+  // Chunk size for the pipelined pull path. SIZE_MAX (the default) autotunes
+  // from the measured bandwidth-delay product (see PullManagerConfig);
+  // 0 = monolithic single-chunk pulls (the pre-refactor behavior, kept for
+  // the bench ablation); anything else is a fixed size.
+  size_t pull_chunk_bytes = static_cast<size_t>(-1);
 };
 
 class ObjectStore {

@@ -233,10 +233,11 @@ bool PullManager::StartFromSource(const EntryPtr& e, Status* fail) {
     if (!e->assembly) {
       e->size = e->src_buffer->Size();
       e->assembly = std::make_shared<Buffer>(e->size);
+      e->chunk_bytes = ResolveChunkBytes(e->size);
       e->num_chunks =
-          config_.chunk_bytes == 0
+          e->chunk_bytes == 0
               ? 1
-              : std::max<size_t>(1, (e->size + config_.chunk_bytes - 1) / config_.chunk_bytes);
+              : std::max<size_t>(1, (e->size + e->chunk_bytes - 1) / e->chunk_bytes);
       inflight_bytes_.fetch_add(e->size, std::memory_order_relaxed);
       e->charged.store(true, std::memory_order_release);
     } else {
@@ -256,12 +257,13 @@ void PullManager::KickChunk(const EntryPtr& e) {
   if (e->aborted.load(std::memory_order_acquire)) {
     return;
   }
-  size_t chunk_bytes = config_.chunk_bytes == 0 ? e->size : config_.chunk_bytes;
+  size_t chunk_bytes = e->chunk_bytes == 0 ? e->size : e->chunk_bytes;
   size_t off = e->chunk * chunk_bytes;
   size_t len = e->size > off ? std::min(chunk_bytes, e->size - off) : 0;
   int streams = len >= config_.parallel_copy_threshold ? config_.num_transfer_streams : 1;
   uint64_t epoch = epoch_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
   e->current_epoch = epoch;
+  e->chunk_sent_us = NowMicros();
   ObjectId id = e->id;
   uint64_t token = net_->TransferAsync(
       e->src, node_, len, streams, id,
@@ -319,14 +321,16 @@ void PullManager::HandleChunkDone(const EntryPtr& e, const Status& status) {
   }
   chunks_transferred_.fetch_add(1, std::memory_order_relaxed);
   size_t done_chunk = e->chunk;
+  int64_t chunk_duration_us = NowMicros() - e->chunk_sent_us;
   e->chunk++;
   if (e->chunk < e->num_chunks) {
     // Pipeline: next chunk goes on the wire before this one is copied.
     KickChunk(e);
   }
-  size_t chunk_bytes = config_.chunk_bytes == 0 ? e->size : config_.chunk_bytes;
+  size_t chunk_bytes = e->chunk_bytes == 0 ? e->size : e->chunk_bytes;
   size_t off = done_chunk * chunk_bytes;
   size_t len = e->size > off ? std::min(chunk_bytes, e->size - off) : 0;
+  ObserveChunkTiming(e, len, chunk_duration_us);
   if (len > 0) {
     int threads = len >= config_.parallel_copy_threshold ? config_.num_transfer_streams : 1;
     trace::Span span(trace::Stage::kChunkCopy, TaskId(), e->id, node_, e->src, len);
@@ -336,6 +340,64 @@ void PullManager::HandleChunkDone(const EntryPtr& e, const Status& status) {
   if (done_chunk + 1 == e->num_chunks && !e->aborted.load(std::memory_order_acquire)) {
     CompleteEntry(e, Status::Ok());
   }
+}
+
+namespace {
+// Two chunk sizes must differ by at least this much before the two-point fit
+// below divides by their difference; smaller gaps amplify timing noise.
+constexpr size_t kMinProbeLenDeltaBytes = 64 * 1024;
+}  // namespace
+
+size_t PullManager::ResolveChunkBytes(uint64_t size) const {
+  if (config_.chunk_bytes != kAutoChunkBytes) {
+    return config_.chunk_bytes;  // fixed (0 = monolithic)
+  }
+  if (!bandwidth_ema_.HasValue() || !chunk_latency_ema_.HasValue()) {
+    return config_.initial_chunk_bytes;  // nothing measured yet
+  }
+  // Bandwidth-delay product: the chunk must keep the wire busy long enough
+  // that per-chunk setup latency amortizes away. bdp_factor x BDP puts the
+  // serialization time at roughly bdp_factor latencies.
+  double bdp = bandwidth_ema_.Value() * (chunk_latency_ema_.Value() * 1e-6);
+  auto chunk = static_cast<size_t>(config_.bdp_factor * bdp);
+  return std::min(config_.max_chunk_bytes, std::max(config_.min_chunk_bytes, chunk));
+}
+
+size_t PullManager::CurrentChunkBytes() const { return ResolveChunkBytes(0); }
+
+void PullManager::ObserveChunkTiming(const EntryPtr& e, size_t len, int64_t duration_us) {
+  if (config_.chunk_bytes != kAutoChunkBytes || duration_us <= 0 || len == 0) {
+    return;
+  }
+  // A single chunk size cannot separate latency from bandwidth. Each entry
+  // keeps one probe point (its full chunk size, minimum duration seen — the
+  // minimum sheds queueing noise); when a chunk of a sufficiently different
+  // size completes (normally the final partial chunk), the two points solve
+  //   duration = latency + len / bandwidth
+  // exactly, and the solution feeds the EMAs.
+  if (e->probe_len == 0 || e->probe_len == len) {
+    if (e->probe_len == 0 || duration_us < e->probe_dur_us) {
+      e->probe_len = len;
+      e->probe_dur_us = duration_us;
+    }
+    return;
+  }
+  double dlen = static_cast<double>(e->probe_len) - static_cast<double>(len);
+  if (dlen < 0) {
+    dlen = -dlen;
+  }
+  if (dlen < kMinProbeLenDeltaBytes) {
+    return;
+  }
+  double us_per_byte = (static_cast<double>(e->probe_dur_us) - static_cast<double>(duration_us)) /
+                       (static_cast<double>(e->probe_len) - static_cast<double>(len));
+  if (us_per_byte <= 0) {
+    return;  // noise inverted the slope; skip the sample
+  }
+  double latency_us = std::max(
+      1.0, static_cast<double>(duration_us) - static_cast<double>(len) * us_per_byte);
+  bandwidth_ema_.Observe(1e6 / us_per_byte);
+  chunk_latency_ema_.Observe(latency_us);
 }
 
 void PullManager::CompleteEntry(const EntryPtr& e, Status status) {

@@ -34,6 +34,7 @@
 
 #include "common/buffer.h"
 #include "common/id.h"
+#include "common/metrics.h"
 #include "common/queue.h"
 #include "common/status.h"
 #include "common/sync.h"
@@ -46,10 +47,25 @@ namespace ray {
 
 class ObjectStore;
 
+// Sentinel for chunk_bytes: size chunks from the measured bandwidth-delay
+// product instead of a fixed constant.
+inline constexpr size_t kAutoChunkBytes = static_cast<size_t>(-1);
+
 struct PullManagerConfig {
-  // Chunk size for the pipelined pull path; 0 moves each object as a single
-  // monolithic chunk (the pre-refactor behavior, kept for the ablation).
-  size_t chunk_bytes = 8ull << 20;
+  // Chunk size for the pipelined pull path. kAutoChunkBytes (the default)
+  // derives it from measured per-chunk bandwidth and latency EMAs — the
+  // chunk is a multiple of the bandwidth-delay product, so transfer time
+  // dominates per-chunk setup latency without bloating failover restarts.
+  // 0 moves each object as a single monolithic chunk (the pre-refactor
+  // behavior, kept for the ablation); any other value is used verbatim.
+  size_t chunk_bytes = kAutoChunkBytes;
+  // Starting point (and fallback) for autotuning before any chunk has been
+  // measured; also the fixed size most callers used previously.
+  size_t initial_chunk_bytes = 8ull << 20;
+  // Autotuned chunk = bdp_factor x bandwidth x latency, clamped below.
+  double bdp_factor = 8.0;
+  size_t min_chunk_bytes = 256 * 1024;
+  size_t max_chunk_bytes = 64ull << 20;
   // Streams used per chunk at or above parallel_copy_threshold.
   int num_transfer_streams = 8;
   size_t parallel_copy_threshold = 512 * 1024;
@@ -110,6 +126,9 @@ class PullManager {
   // Bytes held in chunk-assembly buffers right now — outside the store's
   // capacity accounting and invisible to eviction by construction.
   size_t InflightBytes() const { return inflight_bytes_.load(std::memory_order_relaxed); }
+  // The chunk size a pull starting right now would use (fixed, or the
+  // current autotuned bandwidth-delay estimate).
+  size_t CurrentChunkBytes() const;
 
  private:
   struct Waiter {
@@ -124,6 +143,15 @@ class PullManager {
     NodeId preferred;
     bool started = false;
     uint64_t size = 0;
+    // Resolved at assembly creation and frozen for the entry's lifetime, so
+    // chunk offsets stay stable across failover even while autotuning moves.
+    size_t chunk_bytes = 0;
+    int64_t chunk_sent_us = 0;  // when the in-flight chunk hit the wire
+    // Timing probe for autotune: the first observed chunk size and its best
+    // (minimum) duration. A later chunk of a different size — usually the
+    // final partial one — pairs with it for a two-point latency/bandwidth fit.
+    size_t probe_len = 0;
+    int64_t probe_dur_us = 0;
     std::shared_ptr<Buffer> assembly;  // skipped by store eviction: lives here
     BufferPtr src_buffer;              // pinned replica bytes on the source
     NodeId src;
@@ -163,6 +191,11 @@ class PullManager {
   void KickChunk(const EntryPtr& e);
   void CompleteEntry(const EntryPtr& e, Status status);
   void DispatchWaiters(std::vector<Waiter> waiters, const Status& status);
+  // Chunk size for an object of `size` starting now (fixed config value, or
+  // bdp_factor x measured bandwidth-delay product, clamped).
+  size_t ResolveChunkBytes(uint64_t size) const;
+  // Feeds the bandwidth/latency EMAs from one completed chunk transfer.
+  void ObserveChunkTiming(const EntryPtr& e, size_t len, int64_t duration_us);
 
   NodeId node_;
   gcs::GcsTables* tables_;
@@ -189,6 +222,12 @@ class PullManager {
   std::atomic<uint64_t> failovers_{0};
   std::atomic<uint64_t> chunks_transferred_{0};
   std::atomic<size_t> inflight_bytes_{0};
+
+  // Measured wire characteristics (Ema is internally locked), fit from pairs
+  // of different-sized chunk transfers: duration = latency + len / bandwidth.
+  // Their product (the bandwidth-delay product) is the autotune input.
+  Ema bandwidth_ema_{0.2};
+  Ema chunk_latency_ema_{0.2};
 };
 
 }  // namespace ray

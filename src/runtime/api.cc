@@ -42,10 +42,37 @@ void Ray::HomeStorePut(const ObjectId& id, BufferPtr buffer) {
   node->store().Put(id, std::move(buffer));
 }
 
+void Ray::ReportWorkerBlocked() {
+  const ExecutionContext* ctx = CurrentExecutionContext();
+  if (ctx == nullptr || ctx->cluster != cluster_) {
+    return;  // driver thread: nothing leased can be stuck behind us
+  }
+  Node* self = cluster_->FindNode(ctx->node);
+  if (self == nullptr || !self->IsAlive()) {
+    return;
+  }
+  // If this thread is draining a lease pipeline, revoke the lease and
+  // re-route everything queued behind us — it may be the very tasks we are
+  // about to block on (nested ray.get would deadlock a serial pipeline).
+  for (TaskSpec& spec : self->scheduler().NotifyWorkerBlocked()) {
+    // The spilled task may now execute remotely, where the executor cannot
+    // consult this node's lineage buffer; flush its record through first.
+    self->transport().WaitTaskDurable(spec.id);
+    Status s = cluster_->SubmitTask(spec, ctx->node);
+    if (!s.ok()) {
+      RAY_LOG(WARNING) << "re-routing task " << ToShortString(spec.id)
+                       << " spilled from a blocked lease failed: " << s.ToString();
+    }
+  }
+}
+
 Result<BufferPtr> Ray::GetBuffer(const ObjectId& id, int64_t timeout_us) {
   Node* node = cluster_->FindNode(home_);
   if (node == nullptr || !node->IsAlive()) {
     return Status::NodeDead("home node is dead");
+  }
+  if (!node->store().ContainsLocal(id)) {
+    ReportWorkerBlocked();  // we are (very likely) about to block
   }
   int64_t deadline = timeout_us < 0 ? -1 : NowMicros() + timeout_us;
   for (;;) {
@@ -99,6 +126,7 @@ std::vector<size_t> Ray::Wait(const std::vector<ObjectId>& ids, size_t num_ready
   num_ready = std::min(num_ready, ids.size());
   std::vector<bool> ready(ids.size(), false);
   size_t count = 0;
+  bool reported_blocked = false;
   for (;;) {
     for (size_t i = 0; i < ids.size(); ++i) {
       if (ready[i]) {
@@ -123,6 +151,10 @@ std::vector<size_t> Ray::Wait(const std::vector<ObjectId>& ids, size_t num_ready
     }
     if (count >= num_ready || (deadline >= 0 && NowMicros() >= deadline)) {
       break;
+    }
+    if (!reported_blocked) {
+      reported_blocked = true;
+      ReportWorkerBlocked();
     }
     SleepMicros(200);
   }

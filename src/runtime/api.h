@@ -140,6 +140,9 @@ class Ray {
   }
 
   TaskSpec MakeSpecBase(const std::string& function, const ResourceSet& resources) const;
+  // Pre-block hook for nested gets: spills and re-routes tasks pipelined
+  // behind this thread's lease so a blocking wait cannot deadlock them.
+  void ReportWorkerBlocked();
   // The node tasks are submitted from: the executing node when called inside
   // a task (bottom-up nested submission), else this handle's home node.
   NodeId SubmitterNode() const;

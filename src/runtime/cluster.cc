@@ -69,6 +69,7 @@ Cluster::~Cluster() {
   recovery_pool_->Shutdown();
   BumpClusterEvent();  // wake any routing/recovery backoff so it sees shutdown
   MutexLock lock(nodes_mu_);
+  node_index_.clear();
   nodes_.clear();  // Node destructors drain gracefully
 }
 
@@ -83,6 +84,7 @@ NodeId Cluster::AddNodeInternal(const LocalSchedulerConfig& scheduler_config) {
     // ours without a peer resolver).
     MutexLock lock(nodes_mu_);
     nodes_.push_back(std::move(node));
+    node_index_.emplace(id, raw);
   }
   // Resolver before Start(): once Start registers the node, peers may
   // immediately try to pull from it.
@@ -116,12 +118,8 @@ Node& Cluster::node(size_t index) {
 
 Node* Cluster::FindNode(const NodeId& id) {
   MutexLock lock(nodes_mu_);
-  for (const auto& node : nodes_) {
-    if (node->id() == id) {
-      return node.get();
-    }
-  }
-  return nullptr;
+  auto it = node_index_.find(id);
+  return it == node_index_.end() ? nullptr : it->second;
 }
 
 void Cluster::KillNode(size_t index) { node(index).Kill(); }
@@ -221,6 +219,17 @@ Status Cluster::SubmitTask(const TaskSpec& spec, const NodeId& from) {
   // Covers the driver-side cost: lineage writes plus routing up to the point
   // where the task is queued somewhere (local, global, or actor mailbox).
   trace::Span span(trace::Stage::kSubmit, spec.id, ObjectId(), from);
+  // Direct transport first: leases a worker and pipelines the task with
+  // async lineage, skipping both the per-task scheduler hop and the
+  // synchronous GCS writes below. Declines (actor task, non-local deps, no
+  // lease) fall through to the classic routed path.
+  Node* submitter = FindNode(from);
+  if (submitter != nullptr && submitter->IsAlive() && submitter->transport().TrySubmit(spec)) {
+    if (task_graph_) {
+      task_graph_->AddTask(spec);
+    }
+    return Status::Ok();
+  }
   RecordLineage(spec, from);
   if (spec.IsActorTask()) {
     return RouteActorTask(spec, from);

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -163,6 +164,10 @@ class Cluster {
 
   mutable Mutex nodes_mu_{"Cluster.nodes_mu"};
   std::vector<std::unique_ptr<Node>> nodes_ GUARDED_BY(nodes_mu_);
+  // O(1) id lookup for the per-submit FindNode on the direct-transport fast
+  // path. Nodes are never erased from nodes_ (killed ones stay, dead), so
+  // entries stay valid for the cluster's lifetime.
+  std::unordered_map<NodeId, Node*> node_index_ GUARDED_BY(nodes_mu_);
 
   Mutex reconstruct_mu_{"Cluster.reconstruct_mu"};
   std::unordered_set<TaskId> reconstructing_ GUARDED_BY(reconstruct_mu_);

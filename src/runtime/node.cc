@@ -32,6 +32,13 @@ Node::Node(const RuntimeContext* rt, const LocalSchedulerConfig& scheduler_confi
   store_ = std::make_unique<ObjectStore>(id_, rt_->tables, rt_->net, store_config, rt_->liveness);
   scheduler_ = std::make_unique<LocalScheduler>(id_, rt_->tables, rt_->net, store_.get(),
                                                 rt_->global, scheduler_config, rt_->liveness);
+  DirectTransportConfig transport_config;
+  transport_config.enabled = scheduler_config.enable_leasing;
+  // One lease per worker keeps all CPUs reachable through the fast path.
+  size_t cpus = static_cast<size_t>(scheduler_config.total_resources.Get("CPU"));
+  transport_config.max_leases_per_shape = cpus > 0 ? cpus : 1;
+  transport_ = std::make_unique<DirectTaskTransport>(id_, scheduler_.get(), store_.get(),
+                                                     rt_->tables, transport_config);
 }
 
 Node::~Node() {
@@ -39,6 +46,7 @@ Node::~Node() {
     // Graceful teardown (not a crash): stop accepting and drain.
     alive_.store(false, std::memory_order_release);
     rt_->registry->Remove(id_);
+    transport_->Shutdown();
     scheduler_->Shutdown();
     MutexLock lock(actors_mu_);
     for (auto& [aid, actor] : actors_) {
@@ -73,6 +81,7 @@ void Node::Kill() {
   // connection-refused for control RPCs that race the crash.
   rt_->net->SetNodeDead(id_, true);
   rt_->registry->Remove(id_);
+  transport_->Shutdown();
   scheduler_->Shutdown();
   {
     MutexLock lock(actors_mu_);
@@ -126,6 +135,9 @@ void Node::ExecuteTask(const TaskSpec& spec) {
   Status s = ResolveArgs(spec, &args);
   if (!s.ok()) {
     RAY_LOG(WARNING) << "task " << ToShortString(spec.id) << " lost an input: " << s.ToString();
+    // Reconstruction reads this task's spec from the GCS; make sure the
+    // async-recorded lineage landed before advertising the loss.
+    transport_->WaitTaskDurable(spec.id);
     rt_->tables->tasks.SetState(spec.id, gcs::TaskState::kLost, id_);
     return;
   }
@@ -137,6 +149,9 @@ void Node::ExecuteTask(const TaskSpec& spec) {
     RAY_CHECK(results.size() == spec.num_returns)
         << "multi-output function produced " << results.size() << " values, spec expects "
         << spec.num_returns;
+    // Durability invariant: lineage is in the GCS before any output becomes
+    // visible, so a failure after this point can always re-derive the task.
+    transport_->WaitTaskDurable(spec.id);
     // kDone commits before the result locations publish: a consumer woken by
     // a result must already observe the producing task as done.
     rt_->tables->tasks.SetState(spec.id, gcs::TaskState::kDone, id_);
@@ -151,6 +166,8 @@ void Node::ExecuteTask(const TaskSpec& spec) {
   if (!IsAlive()) {
     return;  // died mid-execution: outputs are lost with the store
   }
+  // Same durability gate as the multi-output path: lineage before outputs.
+  transport_->WaitTaskDurable(spec.id);
   rt_->tables->tasks.SetState(spec.id, gcs::TaskState::kDone, id_);
   store_->Put(spec.ReturnId(0), std::move(result));
   for (uint32_t i = 1; i < spec.num_returns; ++i) {

@@ -18,6 +18,7 @@
 #include "common/sync.h"
 #include "objectstore/object_store.h"
 #include "runtime/context.h"
+#include "runtime/direct_transport.h"
 #include "scheduler/local_scheduler.h"
 #include "task/task_spec.h"
 
@@ -44,6 +45,8 @@ class Node {
   const NodeId& id() const { return id_; }
   ObjectStore& store() { return *store_; }
   LocalScheduler& scheduler() { return *scheduler_; }
+  // Caller-side direct task transport for tasks submitted from this node.
+  DirectTaskTransport& transport() { return *transport_; }
 
   // Number of actor method invocations executed on this node (for tests and
   // the Fig. 11b replay accounting).
@@ -80,6 +83,9 @@ class Node {
   NodeId id_;
   std::unique_ptr<ObjectStore> store_;
   std::unique_ptr<LocalScheduler> scheduler_;
+  // Declared after scheduler_ (destroyed first): its destructor returns
+  // leases to the scheduler and drains the lineage buffer.
+  std::unique_ptr<DirectTaskTransport> transport_;
   std::atomic<bool> alive_{true};
   std::atomic<uint64_t> actor_methods_executed_{0};
 

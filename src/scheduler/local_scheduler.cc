@@ -70,6 +70,17 @@ void LocalScheduler::Shutdown() {
     return;
   }
   dispatch_queue_.Close();
+  // Kill all leases: callers' SubmitOnLease fails fast from here on, and no
+  // resources need returning — the node is going away. Claiming `released`
+  // keeps a racing finish/revoke observer from touching available_ later.
+  {
+    MutexLock lock(dispatch_mu_);
+    for (auto& [id, lease] : leases_) {
+      lease->revoked.store(true, std::memory_order_seq_cst);
+      lease->released.exchange(true, std::memory_order_seq_cst);
+    }
+    leases_.clear();
+  }
   for (auto& w : workers_) {
     if (w.joinable()) {
       w.join();
@@ -432,12 +443,18 @@ void LocalScheduler::TryDispatch() {
       tracer.Emit(trace::Stage::kQueue, ready.ready_at_us, now - ready.ready_at_us,
                   ready.spec.id, ObjectId(), node_);
     }
-    dispatch_queue_.Push(std::move(ready.spec));
+    dispatch_queue_.Push({std::move(ready.spec), nullptr});
   }
 }
 
 void LocalScheduler::WorkerLoop() {
-  while (auto spec = dispatch_queue_.Pop()) {
+  while (auto item = dispatch_queue_.Pop()) {
+    if (item->lease != nullptr) {
+      // Run-token from the direct transport: drain that lease's pipeline.
+      RunLeasePipeline(item->lease);
+      continue;
+    }
+    TaskSpec& spec = item->spec;
     Timer timer;
     // Counted on pickup, not completion: a consumer woken by this task's
     // result (published mid-executor) must already see it in the counter.
@@ -448,10 +465,10 @@ void LocalScheduler::WorkerLoop() {
     // kDone *before* publishing result objects so that anyone woken by a
     // result's location already observes the task as done.
     {
-      trace::Span span(trace::Stage::kExec, spec->id, ObjectId(), node_);
-      executor_(*spec);
+      trace::Span span(trace::Stage::kExec, spec.id, ObjectId(), node_);
+      executor_(spec);
     }
-    FinishTask(*spec, timer.ElapsedSeconds());
+    FinishTask(spec, timer.ElapsedSeconds());
   }
 }
 
@@ -469,9 +486,212 @@ void LocalScheduler::FinishTask(const TaskSpec& spec, double duration_s) {
   TryDispatch();
 }
 
+// --- direct task transport: worker leasing ---------------------------------
+//
+// Release-race protocol (all seq_cst): a lease's resources return exactly
+// once, when it is both revoked and drained. The two observers are
+//   finish:  inflight.fetch_sub(1) == 1  &&  revoked.load()
+//   revoke:  revoked.store(true);  inflight.load() == 0
+// In the seq_cst total order one of them sees both conditions: if revoke's
+// load reads inflight > 0, some task has not finished; its fetch_sub to zero
+// is ordered after the revoked store, so its revoked load reads true. The
+// released.exchange makes the claim single-shot when both observers fire.
+// A submit that raced past the first revoked check re-checks after its
+// increment and undoes itself through the same finish protocol.
+
+std::shared_ptr<WorkerLease> LocalScheduler::RequestLease(const ResourceSet& shape_in) {
+  if (!config_.enable_leasing || config_.always_forward_to_global ||
+      shutdown_.load(std::memory_order_relaxed)) {
+    return nullptr;
+  }
+  ResourceSet shape = shape_in.IsEmpty() ? ResourceSet::Cpu(1) : shape_in;
+  trace::Span span(trace::Stage::kLeaseRequest, TaskId(), ObjectId(), node_);
+  std::shared_ptr<WorkerLease> lease;
+  {
+    TimedMutexLock lock(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
+    // Don't starve queued work: a ready task that is waiting for resources
+    // has first claim on anything available (the rescue pass also revokes
+    // idle leases under this pressure).
+    if (num_ready_.load(std::memory_order_relaxed) > 0 || !available_.Contains(shape)) {
+      span.SetArg(0);
+      return nullptr;
+    }
+    available_.Subtract(shape);
+    lease = std::make_shared<WorkerLease>();
+    lease->id = next_lease_id_++;
+    lease->shape = std::move(shape);
+    lease->max_inflight = std::max<size_t>(1, config_.lease_max_inflight);
+    lease->last_used_us.store(NowMicros(), std::memory_order_relaxed);
+    leases_.emplace(lease->id, lease);
+  }
+  leases_granted_.fetch_add(1, std::memory_order_relaxed);
+  span.SetArg(1);
+  return lease;
+}
+
+bool LocalScheduler::SubmitOnLease(const std::shared_ptr<WorkerLease>& lease,
+                                   const TaskSpec& spec) {
+  if (lease == nullptr || lease->revoked.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  int64_t depth = lease->inflight.fetch_add(1, std::memory_order_seq_cst);
+  if (depth >= static_cast<int64_t>(lease->max_inflight) ||
+      lease->revoked.load(std::memory_order_seq_cst)) {
+    if (lease->inflight.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+        lease->revoked.load(std::memory_order_seq_cst)) {
+      MaybeReleaseLease(lease);
+    }
+    return false;
+  }
+  lease->last_used_us.store(NowMicros(), std::memory_order_relaxed);
+  leased_inflight_.fetch_add(1, std::memory_order_relaxed);
+  bool need_token = false;
+  {
+    MutexLock lock(lease->mu);
+    lease->pipeline.push_back(spec);
+    if (!lease->active) {
+      lease->active = true;
+      need_token = true;
+    }
+  }
+  if (need_token && !dispatch_queue_.Push({TaskSpec(), lease})) {
+    // Shutdown raced the submit; the task is stranded in the pipeline like
+    // any queued work when a node stops (crash-stop). Refuse so the caller
+    // re-routes — the stranded copy will never run here.
+    lease->revoked.store(true, std::memory_order_seq_cst);
+    return false;
+  }
+  return true;
+}
+
+namespace {
+// The lease whose pipeline the current thread is draining (null elsewhere);
+// lets a task that blocks mid-execution find and spill its own lease.
+thread_local const std::shared_ptr<WorkerLease>* tl_current_lease = nullptr;
+}  // namespace
+
+void LocalScheduler::RunLeasePipeline(const std::shared_ptr<WorkerLease>& lease) {
+  tl_current_lease = &lease;
+  for (;;) {
+    TaskSpec spec;
+    {
+      MutexLock lock(lease->mu);
+      if (lease->pipeline.empty()) {
+        lease->active = false;
+        tl_current_lease = nullptr;
+        return;
+      }
+      spec = std::move(lease->pipeline.front());
+      lease->pipeline.pop_front();
+    }
+    Timer timer;
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      trace::Span span(trace::Stage::kExec, spec.id, ObjectId(), node_);
+      executor_(spec);
+    }
+    task_duration_ema_.Observe(timer.ElapsedSeconds());
+    leased_inflight_.fetch_sub(1, std::memory_order_relaxed);
+    if (lease->inflight.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+        lease->revoked.load(std::memory_order_seq_cst)) {
+      MaybeReleaseLease(lease);
+    }
+  }
+}
+
+std::vector<TaskSpec> LocalScheduler::NotifyWorkerBlocked() {
+  std::vector<TaskSpec> spilled;
+  if (tl_current_lease == nullptr) {
+    return spilled;  // classic worker / actor thread: nothing to spill
+  }
+  const std::shared_ptr<WorkerLease>& lease = *tl_current_lease;
+  // Revoke first so new submits are refused, then drain what already queued
+  // behind the (about to block) head. A submit racing the revocation can
+  // still slip one task in after the drain; it is not lost — it runs when
+  // the head unblocks — and it cannot be a task the head is waiting on,
+  // because a task submits all its children before it blocks on them.
+  if (!lease->revoked.exchange(true, std::memory_order_seq_cst)) {
+    leases_revoked_.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    MutexLock lock(lease->mu);
+    while (!lease->pipeline.empty()) {
+      spilled.push_back(std::move(lease->pipeline.front()));
+      lease->pipeline.pop_front();
+    }
+  }
+  // Undo the accounting each drained task acquired at SubmitOnLease. The
+  // blocked head still holds one inflight slot, so this cannot release the
+  // lease, but we keep the full finish protocol for uniformity.
+  for (size_t i = 0; i < spilled.size(); ++i) {
+    leased_inflight_.fetch_sub(1, std::memory_order_relaxed);
+    if (lease->inflight.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+        lease->revoked.load(std::memory_order_seq_cst)) {
+      MaybeReleaseLease(lease);
+    }
+  }
+  return spilled;
+}
+
+void LocalScheduler::MaybeReleaseLease(const std::shared_ptr<WorkerLease>& lease) {
+  if (lease->released.exchange(true, std::memory_order_seq_cst)) {
+    return;  // another observer claimed the release
+  }
+  {
+    TimedMutexLock lock(dispatch_mu_, ControlPlaneMetrics::Instance().dispatch_lock_wait_us);
+    available_.Add(lease->shape);
+    leases_.erase(lease->id);
+  }
+  // Freed resources may unblock queued ready tasks.
+  TryDispatch();
+}
+
+void LocalScheduler::ReturnLease(const std::shared_ptr<WorkerLease>& lease) {
+  if (lease == nullptr) {
+    return;
+  }
+  lease->revoked.store(true, std::memory_order_seq_cst);
+  if (lease->inflight.load(std::memory_order_seq_cst) == 0) {
+    MaybeReleaseLease(lease);
+  }
+}
+
+void LocalScheduler::RevokeLease(const std::shared_ptr<WorkerLease>& lease) {
+  leases_revoked_.fetch_add(1, std::memory_order_relaxed);
+  ReturnLease(lease);
+}
+
+void LocalScheduler::ReapLeases() {
+  std::vector<std::shared_ptr<WorkerLease>> idle;
+  int64_t now = NowMicros();
+  {
+    MutexLock lock(dispatch_mu_);
+    for (const auto& [id, lease] : leases_) {
+      if (lease->revoked.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      if (lease->inflight.load(std::memory_order_relaxed) == 0 &&
+          now - lease->last_used_us.load(std::memory_order_relaxed) >=
+              config_.lease_idle_timeout_us) {
+        idle.push_back(lease);
+      }
+    }
+  }
+  for (auto& lease : idle) {
+    RevokeLease(lease);
+  }
+}
+
+size_t LocalScheduler::NumActiveLeases() const {
+  MutexLock lock(dispatch_mu_);
+  return leases_.size();
+}
+
 size_t LocalScheduler::QueueLength() const {
   return num_waiting_.load(std::memory_order_relaxed) +
-         num_ready_.load(std::memory_order_relaxed) + running_.load(std::memory_order_relaxed);
+         num_ready_.load(std::memory_order_relaxed) +
+         running_.load(std::memory_order_relaxed) +
+         leased_inflight_.load(std::memory_order_relaxed);
 }
 
 gcs::Heartbeat LocalScheduler::MakeHeartbeat() const {
@@ -522,6 +742,7 @@ void LocalScheduler::HeartbeatLoop() {
       return;
     }
     ReportHeartbeat();
+    ReapLeases();
     // Rescue runs off-thread: re-forwarding to the global scheduler can block
     // (it retries placement under churn), and a stalled heartbeat loop would
     // get this node falsely declared dead. Single-flight: skip the tick if
@@ -552,6 +773,26 @@ void LocalScheduler::RescueStrandedTasks() {
   }
   for (const ObjectId& object : blocked) {
     fetch_pool_->Submit([this, object] { FetchJob(object); });
+  }
+
+  // Pressure revocation: queued ready tasks have first claim on resources.
+  // Revoke every live lease — revocation is cooperative (pipelined tasks
+  // still run), and the drain returns the shape to available_, which may let
+  // the stranded tasks below dispatch here instead of being re-forwarded.
+  if (num_ready_.load(std::memory_order_relaxed) > 0) {
+    std::vector<std::shared_ptr<WorkerLease>> live;
+    {
+      MutexLock lock(dispatch_mu_);
+      live.reserve(leases_.size());
+      for (const auto& [id, lease] : leases_) {
+        if (!lease->revoked.load(std::memory_order_relaxed)) {
+          live.push_back(lease);
+        }
+      }
+    }
+    for (auto& lease : live) {
+      RevokeLease(lease);
+    }
   }
 
   // Liveness backstop: a task placed here against stale heartbeats may need

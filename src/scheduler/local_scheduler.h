@@ -66,6 +66,49 @@ struct LocalSchedulerConfig {
   // death), so a task placed here against stale heartbeats may otherwise
   // never run even while other tasks keep the node busy.
   int64_t stranded_rescue_us = 200'000;
+
+  // --- direct task transport (worker leasing) ---
+  // Allow callers to lease workers and pipeline tasks past the per-task
+  // scheduler hop (RequestLease / SubmitOnLease). The classic Submit path is
+  // unaffected either way; off for the routed-vs-leased ablation.
+  bool enable_leasing = true;
+  // Max tasks queued + running on one lease (pipelining depth). SubmitOnLease
+  // refuses beyond this and the caller falls back to the routed path, which
+  // is the transport's backpressure.
+  size_t lease_max_inflight = 64;
+  // A lease with no submissions for this long is revoked by the heartbeat
+  // reaper (the idle-timeout return); submitting renews it.
+  int64_t lease_idle_timeout_us = 100'000;
+};
+
+// A leased worker slot: `shape` is carved out of the node's available
+// resources at grant time and comes back when the lease is released. Tasks
+// pipelined onto the lease run serially, in submission order, on one worker
+// thread at a time — a lease models one worker, the way production Ray's
+// direct task transport leases a worker process. Lifecycle:
+//
+//   granted ──SubmitOnLease*──> active ──idle / pressure / return / death──> revoked
+//          revoked && inflight drained ──> released (resources back, erased)
+//
+// Revocation is cooperative: tasks already pipelined still run; new submits
+// are refused. The release handshake is lock-free — whoever observes
+// "revoked && inflight == 0" claims the release via `released` (see
+// LocalScheduler::SubmitOnLease / ReturnLease for the seq_cst protocol).
+struct WorkerLease {
+  uint64_t id = 0;
+  ResourceSet shape;
+  size_t max_inflight = 0;
+  // Queued + executing tasks on this lease.
+  std::atomic<int64_t> inflight{0};
+  std::atomic<bool> revoked{false};
+  std::atomic<bool> released{false};
+  // Last SubmitOnLease, microseconds; submitting is how a caller renews.
+  std::atomic<int64_t> last_used_us{0};
+
+  Mutex mu{"WorkerLease.mu"};
+  std::deque<TaskSpec> pipeline GUARDED_BY(mu);
+  // A worker thread is currently draining `pipeline` (serial execution).
+  bool active GUARDED_BY(mu) = false;
 };
 
 class LocalScheduler {
@@ -98,6 +141,31 @@ class LocalScheduler {
   // because this node hosts the target actor; never spills.
   void SubmitPlaced(const TaskSpec& spec);
 
+  // --- direct task transport (worker leasing) ---
+  // Grants a lease carving `shape` out of this node's available resources.
+  // Null when leasing is disabled, the node is shutting down, tasks are
+  // already waiting for resources (leases must not starve them), or the
+  // shape does not fit — the caller then uses the routed path (spillback).
+  std::shared_ptr<WorkerLease> RequestLease(const ResourceSet& shape);
+  // Pipelines a dependency-satisfied plain task onto `lease` with no
+  // scheduler-queue hop. False when the lease is revoked or at
+  // max_inflight — the caller must route classically.
+  bool SubmitOnLease(const std::shared_ptr<WorkerLease>& lease, const TaskSpec& spec);
+  // Caller-side return (also the revocation entry point). Pipelined tasks
+  // still run; resources come back when the last one finishes. Idempotent.
+  void ReturnLease(const std::shared_ptr<WorkerLease>& lease);
+  // Called by a task that is about to block on an object (nested ray.get).
+  // If the calling thread is draining a lease pipeline, the lease is revoked
+  // and its queued (not yet running) tasks are drained and returned — the
+  // caller must re-route them, or they would deadlock behind the blocked
+  // head when they are the very tasks it is waiting for. No-op (empty
+  // result) on non-lease threads.
+  std::vector<TaskSpec> NotifyWorkerBlocked();
+
+  size_t NumActiveLeases() const;
+  uint64_t NumLeasesGranted() const { return leases_granted_.load(std::memory_order_relaxed); }
+  uint64_t NumLeasesRevoked() const { return leases_revoked_.load(std::memory_order_relaxed); }
+
   void SetObjectUnreachableHandler(ObjectUnreachableHandler handler);
 
   size_t QueueLength() const;
@@ -126,6 +194,13 @@ class LocalScheduler {
     TaskSpec spec;
     int64_t ready_at_us = 0;
   };
+  // One unit of worker-queue work: a resource-gated task from the classic
+  // dispatch path (lease == nullptr), or a run-token telling a worker to
+  // drain `lease`'s pipeline serially.
+  struct DispatchItem {
+    TaskSpec spec;
+    std::shared_ptr<WorkerLease> lease;
+  };
 
   void Enqueue(const TaskSpec& spec);
   // Moves ready tasks to workers / actor mailboxes while resources allow.
@@ -147,6 +222,15 @@ class LocalScheduler {
   void HeartbeatLoop();
   void RescueStrandedTasks();
   void FinishTask(const TaskSpec& spec, double duration_s);
+  // Serially executes `lease`'s pipelined tasks until it is empty.
+  void RunLeasePipeline(const std::shared_ptr<WorkerLease>& lease);
+  // Returns shape to available_ and erases the lease; single-claim via
+  // lease->released, so concurrent finish/revoke observers are safe.
+  void MaybeReleaseLease(const std::shared_ptr<WorkerLease>& lease);
+  // Scheduler-side revocation (reaper / pressure); counts in leases_revoked_.
+  void RevokeLease(const std::shared_ptr<WorkerLease>& lease);
+  // Heartbeat-cadence reaper: revokes leases idle past lease_idle_timeout_us.
+  void ReapLeases();
 
   NodeId node_;
   gcs::GcsTables* tables_;
@@ -185,12 +269,21 @@ class LocalScheduler {
   std::deque<ReadyTask> ready_ GUARDED_BY(dispatch_mu_);
   ResourceSet available_ GUARDED_BY(dispatch_mu_);
 
+  // Live (granted, not yet released) worker leases.
+  std::unordered_map<uint64_t, std::shared_ptr<WorkerLease>> leases_ GUARDED_BY(dispatch_mu_);
+  uint64_t next_lease_id_ GUARDED_BY(dispatch_mu_) = 1;
+
   // Lock-free queue accounting so Submit / heartbeats never take a lock.
   std::atomic<size_t> num_waiting_{0};
   std::atomic<size_t> num_ready_{0};
   std::atomic<size_t> running_{0};
+  // Tasks queued + executing across all leases (counted in QueueLength so
+  // heartbeats reflect direct-transport load too).
+  std::atomic<size_t> leased_inflight_{0};
+  std::atomic<uint64_t> leases_granted_{0};
+  std::atomic<uint64_t> leases_revoked_{0};
 
-  BlockingQueue<TaskSpec> dispatch_queue_;
+  BlockingQueue<DispatchItem> dispatch_queue_;
   std::vector<std::thread> workers_;
   std::unique_ptr<ThreadPool> fetch_pool_;
   std::thread heartbeat_thread_;

@@ -88,8 +88,12 @@ int main(int argc, char** argv) {
   std::printf("trace_dump: %zu events, %zu task timelines -> %s\n", events.size(),
               timelines.size(), out_path);
   std::printf("%s", breakdown.Render().c_str());
-  // Smoke gate: a cross-node workload must produce exec + transfer spans.
-  if (!breakdown.Covers(trace::Stage::kExec) || !breakdown.Covers(trace::Stage::kTransfer)) {
+  // Smoke gate: a cross-node workload must produce exec spans plus wire
+  // activity. The chunked pull path emits kChunkTransfer; the blocking
+  // kTransfer shim survives only in the baselines.
+  bool wire = breakdown.Covers(trace::Stage::kTransfer) ||
+              breakdown.Covers(trace::Stage::kChunkTransfer);
+  if (!breakdown.Covers(trace::Stage::kExec) || !wire) {
     std::fprintf(stderr, "trace_dump: lifecycle stages missing from trace\n");
     return 1;
   }

@@ -13,6 +13,10 @@ const char* StageName(Stage stage) {
   switch (stage) {
     case Stage::kSubmit:
       return "submit";
+    case Stage::kLeaseRequest:
+      return "lease-request";
+    case Stage::kDirectSubmit:
+      return "direct-submit";
     case Stage::kSpill:
       return "spill";
     case Stage::kForward:

@@ -52,6 +52,8 @@ namespace trace {
 // is a histogram per stage.
 enum class Stage : uint8_t {
   kSubmit = 0,    // driver-side submission: lineage writes + routing
+  kLeaseRequest,  // direct transport: worker-lease grant/deny on the scheduler
+  kDirectSubmit,  // direct transport: pipelined push onto a leased worker
   kSpill,         // bottom-up spillover to the global scheduler (instant)
   kForward,       // global scheduler: placement decision + forward hops
   kDepWait,       // enqueue until the last missing input became local

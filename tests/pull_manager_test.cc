@@ -253,6 +253,37 @@ TEST(ObjectStoreCapacityTest, OversizedPutGoesToDiskWithoutEvictingOthers) {
   EXPECT_TRUE(cl.a.GetLocal(small).ok());
 }
 
+TEST(PullManagerTest, AutotuneShrinksChunksTowardBandwidthDelayProduct) {
+  // Auto mode starts at initial_chunk_bytes (8MB) and refits from measured
+  // chunk timings. On this network (100MB/s, 100us) the BDP is ~10KB, so the
+  // 8MB default is far too coarse; after a couple of multi-chunk pulls the
+  // tuner must land near min_chunk_bytes — orders of magnitude below 8MB.
+  Cluster cl(/*chunk_bytes=*/kAutoChunkBytes);
+  EXPECT_EQ(cl.b.pull_manager().CurrentChunkBytes(), 8ull << 20);
+  for (int i = 0; i < 2; ++i) {
+    ObjectId id = ObjectId::FromRandom();
+    // 2.5 full chunks: the final partial chunk pairs with a full one for the
+    // two-point latency/bandwidth fit.
+    const size_t kSize = (20 << 20) + (512 << 10);
+    cl.a.Put(id, PatternBuffer(kSize));
+    auto got = cl.b.Get(id, 60'000'000);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(MatchesPattern(**got));
+  }
+  size_t tuned = cl.b.pull_manager().CurrentChunkBytes();
+  EXPECT_LT(tuned, 4ull << 20) << "autotune never moved off the initial size";
+  EXPECT_GE(tuned, 256u * 1024) << "autotune fell below the clamp floor";
+  // A fresh pull actually uses the tuned size: a 4MB object now needs
+  // several chunks instead of one.
+  ObjectId id = ObjectId::FromRandom();
+  cl.a.Put(id, PatternBuffer(4 << 20));
+  uint64_t before = cl.b.pull_manager().NumChunksTransferred();
+  auto got = cl.b.Get(id, 60'000'000);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_GE(cl.b.pull_manager().NumChunksTransferred() - before, 2u)
+      << "tuned pull still moved the object in one monolithic chunk";
+}
+
 TEST(ObjectStoreCapacityTest, MonolithicChunkConfigStillPulls) {
   // chunk_bytes = 0 is the ablation / pre-refactor shape: one chunk.
   Cluster cl(/*chunk_bytes=*/0);
