@@ -42,6 +42,8 @@ struct RunResult {
   // Direct-transport accounting (0 when leasing is disabled).
   uint64_t direct_submits = 0;
   uint64_t lease_fallbacks = 0;
+  uint64_t leases_granted = 0;
+  uint64_t leases_revoked = 0;
 };
 
 RunResult RunThroughput(int num_nodes, int tasks_per_node, int task_ms, bool always_forward,
@@ -114,6 +116,8 @@ RunResult RunThroughput(int num_nodes, int tasks_per_node, int task_ms, bool alw
   for (int n = 0; n < num_nodes; ++n) {
     result.direct_submits += cluster.node(n).transport().NumDirectSubmits();
     result.lease_fallbacks += cluster.node(n).transport().NumFallbacks();
+    result.leases_granted += cluster.node(n).scheduler().NumLeasesGranted();
+    result.leases_revoked += cluster.node(n).scheduler().NumLeasesRevoked();
   }
   return result;
 }
@@ -129,7 +133,9 @@ void AddSmallTaskRow(bench::BenchJson& json, const char* row, int nodes, const R
                     {"submit_p95_us", r.submit_p95_us},
                     {"submit_p99_us", r.submit_p99_us},
                     {"direct_submits", static_cast<double>(r.direct_submits)},
-                    {"lease_fallbacks", static_cast<double>(r.lease_fallbacks)}});
+                    {"lease_fallbacks", static_cast<double>(r.lease_fallbacks)},
+                    {"leases_granted", static_cast<double>(r.leases_granted)},
+                    {"leases_revoked", static_cast<double>(r.leases_revoked)}});
 }
 
 void RunSmallTaskAblation(bench::BenchJson& json, int per_node, const std::vector<int>& node_counts) {
@@ -197,6 +203,22 @@ int main(int argc, char** argv) {
     }
     if (routed.direct_submits != 0) {
       std::fprintf(stderr, "smoke FAIL: routed run used the direct path\n");
+      return 1;
+    }
+    // Lease-churn sanity: the leased run must have granted leases, and the
+    // idle-first pressure revoker must not have shredded them — a steady
+    // small-task run on an uncontended cluster should revoke at most a
+    // handful (idle-timeout reaping at the tail), never a multiple of the
+    // grants.
+    if (leased.leases_granted == 0) {
+      std::fprintf(stderr, "smoke FAIL: leased run granted zero leases\n");
+      return 1;
+    }
+    if (leased.leases_revoked > leased.leases_granted) {
+      std::fprintf(stderr,
+                   "smoke FAIL: leases revoked (%llu) exceed granted (%llu) - revocation churn\n",
+                   static_cast<unsigned long long>(leased.leases_revoked),
+                   static_cast<unsigned long long>(leased.leases_granted));
       return 1;
     }
     return 0;

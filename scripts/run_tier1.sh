@@ -31,8 +31,13 @@ echo "trace_dump smoke: OK (build/trace.json)"
 RAY_BENCH_JSON_DIR=build ./build/bench/bench_object_store --smoke
 
 # Submit-path smoke check: one leased-vs-routed small-task pair; exits nonzero
-# if the direct transport path carried zero tasks (leasing silently disabled).
+# if the direct transport path carried zero tasks (leasing silently disabled),
+# or if lease-pressure revocation churned (revoked > granted).
 RAY_BENCH_JSON_DIR=build ./build/bench/bench_scalability --smoke
+
+# Serving smoke check: one open-loop ladder point (p99 must hold the SLO)
+# plus a mid-run node kill (windowed p99 must recover under the SLO).
+RAY_BENCH_JSON_DIR=build ./build/bench/bench_serving --smoke
 
 # Chaos gate: seeded fault-injection soak (kills, partitions, throttles,
 # packet loss) over a bounded set of fixed seeds.

@@ -10,13 +10,14 @@
 #   trace_test           - lock-free trace rings, pause handshake vs snapshot
 #   lease_test           - direct transport: lease grant/revoke races, async lineage
 #   chaos_test           - chaos soak: detector + recovery under seeded faults
+#   serving_test         - serving router event loop, admission atomics, autoscaler
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j"$(nproc)" \
   --target gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test \
-  lease_test chaos_test
+  lease_test chaos_test serving_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 for t in gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test; do
@@ -33,4 +34,11 @@ RAY_LEASE_HEARTBEAT_US=20000 RAY_LEASE_MISS_THRESHOLD=8 ./build-tsan/tests/lease
 # never starve a live node's heartbeat thread into a false death.
 echo "== TSan: chaos_test =="
 RAY_CHAOS_HEARTBEAT_US=20000 RAY_CHAOS_MISS_THRESHOLD=8 ./build-tsan/tests/chaos_test
+
+# Serving tests widen the same knobs plus their latency/recovery bounds:
+# under TSan the point is the race check, not the SLO figures.
+echo "== TSan: serving_test =="
+RAY_SERVE_HEARTBEAT_US=20000 RAY_SERVE_MISS_THRESHOLD=8 RAY_SERVE_SLO_US=2000000 \
+  RAY_SERVE_SHED_P99_US=200000 RAY_SERVE_RECOVERY_BOUND_US=15000000 \
+  RAY_SERVE_SCALE_DOWN_BOUND_US=30000000 ./build-tsan/tests/serving_test
 echo "TSan: all clean"

@@ -346,6 +346,101 @@ uint64_t NodeTable::SubscribeMembership(
 
 void NodeTable::UnsubscribeMembership(uint64_t token) { gcs_->Unsubscribe(kNodesKey, token); }
 
+// --- ServeTable ---
+
+namespace {
+std::string ServeRepKey(const std::string& group) { return "serve:rep:" + group; }
+std::string ServeMetricsKey(const std::string& group) { return "serve:metrics:" + group; }
+
+// Membership records are '+'/'-' + actor binary + node binary ('-' records
+// carry a nil node; removal is keyed on the actor alone).
+std::string ReplicaRecord(char op, const ActorId& actor, const NodeId& node) {
+  std::string rec;
+  rec.push_back(op);
+  rec += actor.Binary();
+  rec += node.Binary();
+  return rec;
+}
+}  // namespace
+
+Status ServeTable::AddReplica(const std::string& group, const ActorId& actor, const NodeId& node) {
+  return gcs_->Append(ServeRepKey(group), ReplicaRecord('+', actor, node));
+}
+
+Status ServeTable::RemoveReplica(const std::string& group, const ActorId& actor) {
+  return gcs_->Append(ServeRepKey(group), ReplicaRecord('-', actor, NodeId()));
+}
+
+Result<std::vector<ServeTable::Replica>> ServeTable::GetReplicas(const std::string& group) const {
+  auto records = gcs_->GetList(ServeRepKey(group));
+  if (!records.ok()) {
+    return records.status();
+  }
+  std::vector<Replica> replicas;
+  for (const auto& rec : *records) {
+    if (rec.size() < 1 + ActorId::kSize + NodeId::kSize) {
+      continue;
+    }
+    ActorId actor = ActorId::FromBinary(rec.substr(1, ActorId::kSize));
+    if (rec[0] == '+') {
+      // Last write wins: a '+' for an already-present actor replaces its
+      // node (re-placement retries and post-recovery re-adds both re-add).
+      replicas.erase(std::remove_if(replicas.begin(), replicas.end(),
+                                    [&](const Replica& r) { return r.actor == actor; }),
+                     replicas.end());
+      Replica r;
+      r.actor = actor;
+      r.node = NodeId::FromBinary(rec.substr(1 + ActorId::kSize, NodeId::kSize));
+      replicas.push_back(r);
+    } else {
+      replicas.erase(std::remove_if(replicas.begin(), replicas.end(),
+                                    [&](const Replica& r) { return r.actor == actor; }),
+                     replicas.end());
+    }
+  }
+  return replicas;
+}
+
+size_t ServeTable::CountReplicasOn(const std::string& group, const NodeId& node) const {
+  auto replicas = GetReplicas(group);
+  if (!replicas.ok()) {
+    return 0;
+  }
+  size_t count = 0;
+  for (const Replica& r : *replicas) {
+    if (r.node == node) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t ServeTable::SubscribeReplicas(const std::string& group,
+                                       std::function<void(const Replica&, bool alive)> callback) {
+  return gcs_->Subscribe(ServeRepKey(group), [cb = std::move(callback)](const std::string&,
+                                                                        const std::string& rec) {
+    if (rec.size() < 1 + ActorId::kSize + NodeId::kSize) {
+      return;
+    }
+    Replica r;
+    r.actor = ActorId::FromBinary(rec.substr(1, ActorId::kSize));
+    r.node = NodeId::FromBinary(rec.substr(1 + ActorId::kSize, NodeId::kSize));
+    cb(r, rec[0] == '+');
+  });
+}
+
+void ServeTable::UnsubscribeReplicas(const std::string& group, uint64_t token) {
+  gcs_->Unsubscribe(ServeRepKey(group), token);
+}
+
+Status ServeTable::PublishMetrics(const std::string& group, const std::string& metrics_bytes) {
+  return gcs_->Put(ServeMetricsKey(group), metrics_bytes);
+}
+
+Result<std::string> ServeTable::GetMetrics(const std::string& group) const {
+  return gcs_->Get(ServeMetricsKey(group));
+}
+
 // --- FunctionTable ---
 
 Status FunctionTable::RegisterFunction(const FunctionId& fn, const std::string& name) {

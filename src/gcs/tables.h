@@ -168,6 +168,43 @@ class NodeTable {
 };
 
 // ---------------------------------------------------------------------------
+// Serve Table: replica-set membership and serving metrics for the serving
+// layer (src/serve). Membership is an append-only '+'/'-' log (same idiom as
+// the Object Table's location log), read by the global scheduler to spread a
+// group's replicas across nodes and by routers rebuilding their replica set.
+// Metrics are an opaque serialized blob published by the router each stats
+// tick and read by the autoscaler — the GCS layer stays below serve/ in the
+// dependency order, so it never interprets them.
+// ---------------------------------------------------------------------------
+class ServeTable {
+ public:
+  explicit ServeTable(Gcs* gcs) : gcs_(gcs) {}
+
+  struct Replica {
+    ActorId actor;
+    NodeId node;
+  };
+
+  Status AddReplica(const std::string& group, const ActorId& actor, const NodeId& node);
+  Status RemoveReplica(const std::string& group, const ActorId& actor);
+  // Current (added, not yet removed) members of the group.
+  Result<std::vector<Replica>> GetReplicas(const std::string& group) const;
+  // Members of `group` hosted on `node` (the spread-placement count).
+  size_t CountReplicasOn(const std::string& group, const NodeId& node) const;
+
+  // Fires `callback(replica, alive)` on membership changes.
+  uint64_t SubscribeReplicas(const std::string& group,
+                             std::function<void(const Replica&, bool alive)> callback);
+  void UnsubscribeReplicas(const std::string& group, uint64_t token);
+
+  Status PublishMetrics(const std::string& group, const std::string& metrics_bytes);
+  Result<std::string> GetMetrics(const std::string& group) const;
+
+ private:
+  Gcs* gcs_;
+};
+
+// ---------------------------------------------------------------------------
 // Function Table: remote function registration records (Fig. 7a step 0).
 // ---------------------------------------------------------------------------
 class FunctionTable {
@@ -198,12 +235,14 @@ class EventLog {
 // Bundles all tables over one GCS instance.
 struct GcsTables {
   explicit GcsTables(Gcs* gcs)
-      : objects(gcs), tasks(gcs), actors(gcs), nodes(gcs), functions(gcs), events(gcs) {}
+      : objects(gcs), tasks(gcs), actors(gcs), nodes(gcs), serve(gcs), functions(gcs),
+        events(gcs) {}
 
   ObjectTable objects;
   TaskTable tasks;
   ActorTable actors;
   NodeTable nodes;
+  ServeTable serve;
   FunctionTable functions;
   EventLog events;
 };

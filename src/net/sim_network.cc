@@ -43,6 +43,15 @@ int64_t SimNetwork::ReserveNic(const NodeId& node, int64_t now_us, int64_t durat
   return free_at;
 }
 
+int64_t SimNetwork::NicBacklogMicros(const NodeId& node) const {
+  MutexLock lock(mu_);
+  auto it = nic_free_at_us_.find(node);
+  if (it == nic_free_at_us_.end()) {
+    return 0;
+  }
+  return std::max<int64_t>(0, it->second - NowMicros());
+}
+
 void SimNetwork::ReleaseNic(const NodeId& node, int64_t start_us, int64_t end_us, int64_t now_us) {
   if (end_us <= start_us) {
     return;  // small transfer: no reservation was taken

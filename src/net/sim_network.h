@@ -94,6 +94,12 @@ class SimNetwork {
 
   int64_t EstimateTransferMicros(uint64_t bytes, int streams) const;
 
+  // Microseconds of NIC reservation still queued ahead of a transfer that
+  // would start on `node` now — 0 when the NIC is idle. This is the
+  // bandwidth-awareness signal the PullManager uses to order replica
+  // candidates (a saturated source delays any new pull by its backlog).
+  int64_t NicBacklogMicros(const NodeId& node) const;
+
   void SetNodeDead(const NodeId& node, bool dead);
   bool IsDead(const NodeId& node) const;
 

@@ -201,13 +201,21 @@ bool PullManager::StartFromSource(const EntryPtr& e, Status* fail) {
     *fail = Status::KeyNotFound("object not created yet");
     return false;
   }
-  // Preferred source (the scheduler's dispatch hint) first, then Object
-  // Table order. Bandwidth-aware selection is deliberately deferred.
+  // Preferred source (the scheduler's dispatch hint) first, then the Object
+  // Table replicas ordered by NIC backlog: a replica whose NIC has queued
+  // reservations delays any new pull by that backlog, so the least-loaded
+  // source wins. The sort is stable, so replicas with idle NICs keep Object
+  // Table order. This applies to the initial choice and to failover alike
+  // (failover re-enters here with the dead source in `tried`).
   std::vector<NodeId> candidates;
   if (!e->preferred.IsNil()) {
     candidates.push_back(e->preferred);
   }
-  candidates.insert(candidates.end(), entry->locations.begin(), entry->locations.end());
+  std::vector<NodeId> replicas(entry->locations.begin(), entry->locations.end());
+  std::stable_sort(replicas.begin(), replicas.end(), [this](const NodeId& a, const NodeId& b) {
+    return net_->NicBacklogMicros(a) < net_->NicBacklogMicros(b);
+  });
+  candidates.insert(candidates.end(), replicas.begin(), replicas.end());
   for (const NodeId& cand : candidates) {
     if (cand == node_ || e->tried.count(cand) > 0 ||
         (liveness_ != nullptr && liveness_->IsDead(cand))) {

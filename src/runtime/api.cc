@@ -169,6 +169,11 @@ std::vector<size_t> Ray::Wait(const std::vector<ObjectId>& ids, size_t num_ready
 }
 
 ActorHandle Ray::CreateActor(const std::string& class_name, const ResourceSet& resources) {
+  return CreateActorSpread(class_name, std::string(), resources);
+}
+
+ActorHandle Ray::CreateActorSpread(const std::string& class_name, const std::string& spread_group,
+                                   const ResourceSet& resources) {
   TaskSpec spec;
   spec.id = TaskId::FromRandom();
   spec.function_name = "__actor_create__:" + class_name;
@@ -176,6 +181,7 @@ ActorHandle Ray::CreateActor(const std::string& class_name, const ResourceSet& r
   spec.is_actor_creation = true;
   spec.actor_class = class_name;
   spec.resources = resources;
+  spec.spread_group = spread_group;
   const ExecutionContext* ctx = CurrentExecutionContext();
   if (ctx != nullptr && ctx->cluster == cluster_) {
     spec.parent = ctx->current_task;

@@ -123,6 +123,12 @@ class Ray {
   ActorHandle CreateActor(const std::string& class_name,
                           const ResourceSet& resources = ResourceSet::Cpu(1));
 
+  // Spread variant (serving replicas): the creation carries `spread_group` as
+  // a placement hint and routes through the global scheduler, which places it
+  // on the live node hosting the fewest current members of that group.
+  ActorHandle CreateActorSpread(const std::string& class_name, const std::string& spread_group,
+                                const ResourceSet& resources = ResourceSet::Cpu(1));
+
   Cluster& cluster() { return *cluster_; }
   const NodeId& home() const { return home_; }
 

@@ -234,6 +234,12 @@ Status Cluster::SubmitTask(const TaskSpec& spec, const NodeId& from) {
   if (spec.IsActorTask()) {
     return RouteActorTask(spec, from);
   }
+  if (!spec.spread_group.empty()) {
+    // Spread hint: local submission would anchor the task to the submitter's
+    // node, so force the global scheduler, whose Place() ranks candidates by
+    // the group's per-node membership count (Serve Table).
+    return global_->Schedule(spec, from);
+  }
   LocalScheduler* local = registry_.Lookup(from);
   if (local == nullptr) {
     // Submitter's node is gone; fall back to global placement.

@@ -66,16 +66,39 @@ Result<NodeId> GlobalScheduler::Place(const TaskSpec& spec) const {
   // Preferring the first tier matters because actors hold their resources
   // permanently: a node whose CPUs are all pinned by actors looks idle by
   // queue length but can never dispatch the task.
+  //
+  // A spread hint (spec.spread_group) adds a leading comparison key: the
+  // candidate's current member count of that replica group (Serve Table), so
+  // a serving replica set lands one-per-node before estimated wait is even
+  // consulted — wait only breaks ties within the least-populated tier.
   std::vector<NodeId> available_ties;
   std::vector<NodeId> capacity_ties;
-  double best_available_wait = std::numeric_limits<double>::infinity();
-  double best_capacity_wait = std::numeric_limits<double>::infinity();
-  auto consider = [](std::vector<NodeId>& ties, double& best, const NodeId& node, double wait) {
-    if (wait < best - 1e-9) {
-      best = wait;
+  const bool spread = !spec.spread_group.empty();
+  struct Rank {
+    // Sentinel: both keys start at infinity so the first real candidate
+    // always beats an empty best, whatever its group population.
+    double group_count = std::numeric_limits<double>::infinity();
+    double wait = std::numeric_limits<double>::infinity();
+    bool Beats(const Rank& other) const {
+      if (group_count != other.group_count) {
+        return group_count < other.group_count;
+      }
+      return wait < other.wait - 1e-9;
+    }
+    bool Ties(const Rank& other) const {
+      return group_count == other.group_count && wait < other.wait + 1e-9;
+    }
+  };
+  Rank best_available;
+  Rank best_capacity;
+  // Non-spread candidates keep the infinite group_count, which compares
+  // equal across nodes and reduces the rank to the original wait comparison.
+  auto consider = [](std::vector<NodeId>& ties, Rank& best, const NodeId& node, const Rank& rank) {
+    if (rank.Beats(best)) {
+      best = rank;
       ties.assign(1, node);
-    } else if (wait < best + 1e-9) {
-      ties.push_back(node);  // equal estimated wait: break randomly below
+    } else if (rank.Ties(best)) {
+      ties.push_back(node);  // equal rank: break randomly below
     }
   };
   for (const NodeId& node : tables_->nodes.GetAlive()) {
@@ -89,11 +112,16 @@ Result<NodeId> GlobalScheduler::Place(const TaskSpec& spec) const {
     if (!hb->total.Contains(demand)) {
       continue;  // node can never satisfy this task
     }
-    double wait = EstimateWait(*hb, spec, node);
+    Rank rank;
+    rank.wait = EstimateWait(*hb, spec, node);
+    if (spread) {
+      rank.group_count =
+          static_cast<double>(tables_->serve.CountReplicasOn(spec.spread_group, node));
+    }
     if (hb->available.Contains(demand)) {
-      consider(available_ties, best_available_wait, node, wait);
+      consider(available_ties, best_available, node, rank);
     } else {
-      consider(capacity_ties, best_capacity_wait, node, wait);
+      consider(capacity_ties, best_capacity, node, rank);
     }
   }
   const std::vector<NodeId>& ties = !available_ties.empty() ? available_ties : capacity_ties;
@@ -113,6 +141,14 @@ Status GlobalScheduler::ScheduleOnce(const TaskSpec& spec, const NodeId& from) {
     return target.status();
   }
   span.SetPeer(*target);
+  if (spec.IsActorCreation() && !spec.spread_group.empty()) {
+    // Record the placement in the Serve Table *now*, not when the replica
+    // finishes construction: the next creation in the same group must see
+    // this one's node or a burst of creations would all pile onto the
+    // emptiest node. Re-placement after a failed forward re-records
+    // (last-write-wins in the table's replay).
+    tables_->serve.AddReplica(spec.spread_group, spec.actor, *target);
+  }
   num_scheduled_.fetch_add(1, std::memory_order_relaxed);
   // Control-plane hops: submitter -> global scheduler -> chosen node. The
   // injected scheduler latency (Fig. 12b) is charged on this path.

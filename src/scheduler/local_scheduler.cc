@@ -776,21 +776,33 @@ void LocalScheduler::RescueStrandedTasks() {
   }
 
   // Pressure revocation: queued ready tasks have first claim on resources.
-  // Revoke every live lease — revocation is cooperative (pipelined tasks
-  // still run), and the drain returns the shape to available_, which may let
-  // the stranded tasks below dispatch here instead of being re-forwarded.
+  // Revocation is cooperative (pipelined tasks still run) and the drain
+  // returns the shape to available_, which may let the stranded tasks below
+  // dispatch here instead of being re-forwarded. Revoke idle leases (nothing
+  // in flight) first: they free their shape immediately and cost the holder
+  // nothing. Busy leases are revoked only when there were no idle ones to
+  // take — reclaiming every lease on any pressure tick made mixed
+  // leased/routed workloads oscillate (grant, revoke, re-grant) even when a
+  // single idle lease held the resources the ready queue needed. Pressure
+  // that persists past the idle reclaim escalates on the next tick, when the
+  // idle set is empty.
   if (num_ready_.load(std::memory_order_relaxed) > 0) {
-    std::vector<std::shared_ptr<WorkerLease>> live;
+    std::vector<std::shared_ptr<WorkerLease>> idle;
+    std::vector<std::shared_ptr<WorkerLease>> busy;
     {
       MutexLock lock(dispatch_mu_);
-      live.reserve(leases_.size());
       for (const auto& [id, lease] : leases_) {
-        if (!lease->revoked.load(std::memory_order_relaxed)) {
-          live.push_back(lease);
+        if (lease->revoked.load(std::memory_order_relaxed)) {
+          continue;
+        }
+        if (lease->inflight.load(std::memory_order_relaxed) == 0) {
+          idle.push_back(lease);
+        } else {
+          busy.push_back(lease);
         }
       }
     }
-    for (auto& lease : live) {
+    for (auto& lease : idle.empty() ? busy : idle) {
       RevokeLease(lease);
     }
   }

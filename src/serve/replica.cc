@@ -1,0 +1,46 @@
+#include "serve/replica.h"
+
+#include "common/clock.h"
+#include "runtime/cluster.h"
+
+namespace ray {
+namespace serve {
+
+int ServeReplica::Init(int64_t service_us, int64_t jitter_pct, int64_t seed) {
+  service_us_ = service_us;
+  jitter_pct_ = jitter_pct;
+  rng_state_ = static_cast<uint64_t>(seed) * 0x9e3779b97f4a7c15ULL + 1;
+  num_served_ = 0;
+  return 0;
+}
+
+int64_t ServeReplica::Infer(int64_t request_id) {
+  int64_t delay = service_us_;
+  if (jitter_pct_ > 0) {
+    // xorshift64: cheap, deterministic per replica, no <random> state.
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    int64_t span = service_us_ * jitter_pct_ / 100;
+    if (span > 0) {
+      delay += static_cast<int64_t>(rng_state_ % (2 * span + 1)) - span;
+    }
+  }
+  SleepMicros(delay);
+  ++num_served_;
+  return request_id;
+}
+
+int64_t ServeReplica::NumServed() { return num_served_; }
+
+void RegisterServeSupport(Cluster& cluster) {
+  cluster.RegisterActorClass<ServeReplica>("ServeReplica");
+  cluster.RegisterActorMethod("ServeReplica", "Init", &ServeReplica::Init);
+  cluster.RegisterActorMethod("ServeReplica", "Infer", &ServeReplica::Infer,
+                              /*read_only=*/true);
+  cluster.RegisterActorMethod("ServeReplica", "NumServed", &ServeReplica::NumServed,
+                              /*read_only=*/true);
+}
+
+}  // namespace serve
+}  // namespace ray

@@ -1,0 +1,44 @@
+// The model-replica actor behind the serving layer. Inference is a
+// `read_only` actor method (Section 5.1's annotation): it snapshots the
+// actor's state without advancing the stateful-edge chain, so a query-heavy
+// replica accumulates no replay log — recovery after a node kill replays
+// only creation + Init, which is what keeps failover cheap under load.
+#ifndef RAY_SERVE_REPLICA_H_
+#define RAY_SERVE_REPLICA_H_
+
+#include <cstdint>
+
+namespace ray {
+
+class Cluster;
+
+namespace serve {
+
+class ServeReplica {
+ public:
+  // `service_us` is the simulated per-request model-evaluation time;
+  // `jitter_pct` adds uniform noise in [-jitter_pct, +jitter_pct] percent so
+  // latency distributions have a tail to measure.
+  int Init(int64_t service_us, int64_t jitter_pct, int64_t seed);
+
+  // One inference request. Sleeps (does not spin: replicas on an
+  // oversubscribed host must not starve each other) for the service time and
+  // echoes the request id. Registered read_only.
+  int64_t Infer(int64_t request_id);
+
+  int64_t NumServed();
+
+ private:
+  int64_t service_us_ = 1000;
+  int64_t jitter_pct_ = 0;
+  uint64_t rng_state_ = 1;
+  int64_t num_served_ = 0;
+};
+
+// Registers the ServeReplica actor class ("ServeReplica") with `cluster`.
+void RegisterServeSupport(Cluster& cluster);
+
+}  // namespace serve
+}  // namespace ray
+
+#endif  // RAY_SERVE_REPLICA_H_

@@ -34,6 +34,7 @@ std::string TaskSpec::Serialize() const {
   w.WritePod<uint8_t>(is_actor_creation ? 1 : 0);
   w.WritePod<uint8_t>(actor_method_read_only ? 1 : 0);
   Put(w, actor_class);
+  Put(w, spread_group);
   return w.Finish()->ToString();
 }
 
@@ -59,6 +60,7 @@ TaskSpec TaskSpec::Deserialize(const std::string& bytes) {
   spec.is_actor_creation = r.ReadPod<uint8_t>() != 0;
   spec.actor_method_read_only = r.ReadPod<uint8_t>() != 0;
   spec.actor_class = Take<std::string>(r);
+  spec.spread_group = Take<std::string>(r);
   return spec;
 }
 

@@ -59,6 +59,12 @@ struct TaskSpec {
   // are excluded from the replay log, and re-execute on demand if lost.
   bool actor_method_read_only = false;
 
+  // Placement hint: non-empty names a replica group whose members should be
+  // spread across nodes. The submission path sends such tasks through the
+  // global scheduler, which counts the group's existing members (GCS Serve
+  // Table) per candidate node and places on the least-populated one.
+  std::string spread_group;
+
   bool IsActorTask() const { return !actor.IsNil() && !is_actor_creation; }
   bool IsActorCreation() const { return is_actor_creation; }
 

@@ -53,6 +53,10 @@ const char* StageName(Stage stage) {
       return "stranded-rescue";
     case Stage::kHeartbeat:
       return "heartbeat";
+    case Stage::kServeQueue:
+      return "serve-queue";
+    case Stage::kServeRoute:
+      return "serve-route";
     case Stage::kUser:
       return "user";
     case Stage::kMark:

@@ -72,6 +72,8 @@ enum class Stage : uint8_t {
   kReconstruct,   // lineage reconstruction walk for a lost object
   kStranded,      // stranded-task rescue re-forward (instant)
   kHeartbeat,     // heartbeat publish to the GCS
+  kServeQueue,    // serving: admission to dispatch (router queue + admission)
+  kServeRoute,    // serving: dispatch to completion on the chosen replica
   kUser,          // app-level events from tools::Profiler::RecordEvent
   kMark,          // free-form instants (flight-recorder marks)
   kNumStages,

@@ -284,6 +284,29 @@ TEST(PullManagerTest, AutotuneShrinksChunksTowardBandwidthDelayProduct) {
       << "tuned pull still moved the object in one monolithic chunk";
 }
 
+TEST(PullManagerTest, PullPrefersReplicaWithIdleNic) {
+  Cluster cl(/*chunk_bytes=*/1 << 20);
+  ObjectId id = ObjectId::FromRandom();
+  const size_t kSize = 2 << 20;
+  cl.a.Put(id, PatternBuffer(kSize));
+  cl.c.Put(id, PatternBuffer(kSize));  // second replica, idle NIC
+  // Pile seconds of real transfer backlog onto a's NIC (a bulk send to a
+  // bystander node): any pull sourced from a would queue behind it, so the
+  // replica ranking must route to c.
+  cl.net.TransferAsync(cl.a.node(), NodeId::FromRandom(), 96 << 20, 1, ObjectId::FromRandom(),
+                       [](Status) {});
+  ASSERT_GT(cl.net.NicBacklogMicros(cl.a.node()), 2'000'000);
+  ASSERT_EQ(cl.net.NicBacklogMicros(cl.c.node()), 0);
+  int64_t start = NowMicros();
+  auto got = cl.b.Get(id, 2'000'000);
+  int64_t elapsed = NowMicros() - start;
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(MatchesPattern(**got));
+  // Far under the backlog: the bytes came off c's idle NIC, first try.
+  EXPECT_LT(elapsed, 1'500'000);
+  EXPECT_EQ(cl.b.pull_manager().NumFailovers(), 0u);
+}
+
 TEST(ObjectStoreCapacityTest, MonolithicChunkConfigStillPulls) {
   // chunk_bytes = 0 is the ablation / pre-refactor shape: one chunk.
   Cluster cl(/*chunk_bytes=*/0);
