@@ -44,6 +44,7 @@ struct RunResult {
   uint64_t lease_fallbacks = 0;
   uint64_t leases_granted = 0;
   uint64_t leases_revoked = 0;
+  uint64_t leases_revoked_busy = 0;
 };
 
 RunResult RunThroughput(int num_nodes, int tasks_per_node, int task_ms, bool always_forward,
@@ -118,6 +119,7 @@ RunResult RunThroughput(int num_nodes, int tasks_per_node, int task_ms, bool alw
     result.lease_fallbacks += cluster.node(n).transport().NumFallbacks();
     result.leases_granted += cluster.node(n).scheduler().NumLeasesGranted();
     result.leases_revoked += cluster.node(n).scheduler().NumLeasesRevoked();
+    result.leases_revoked_busy += cluster.node(n).scheduler().NumBusyLeasesRevoked();
   }
   return result;
 }
@@ -135,7 +137,8 @@ void AddSmallTaskRow(bench::BenchJson& json, const char* row, int nodes, const R
                     {"direct_submits", static_cast<double>(r.direct_submits)},
                     {"lease_fallbacks", static_cast<double>(r.lease_fallbacks)},
                     {"leases_granted", static_cast<double>(r.leases_granted)},
-                    {"leases_revoked", static_cast<double>(r.leases_revoked)}});
+                    {"leases_revoked", static_cast<double>(r.leases_revoked)},
+                    {"leases_revoked_busy", static_cast<double>(r.leases_revoked_busy)}});
 }
 
 void RunSmallTaskAblation(bench::BenchJson& json, int per_node, const std::vector<int>& node_counts) {
@@ -219,6 +222,16 @@ int main(int argc, char** argv) {
                    "smoke FAIL: leases revoked (%llu) exceed granted (%llu) - revocation churn\n",
                    static_cast<unsigned long long>(leased.leases_revoked),
                    static_cast<unsigned long long>(leased.leases_granted));
+      return 1;
+    }
+    // Pressure-revocation hysteresis: a steady leased run never starves the
+    // ready queue long enough to cross the dwell window, so the busy-lease
+    // escalation must not fire at all. Any nonzero count here means transient
+    // ready-queue blips are tearing down hot pipelines again.
+    if (leased.leases_revoked_busy != 0) {
+      std::fprintf(stderr,
+                   "smoke FAIL: %llu busy leases revoked under steady load - dwell gate broken\n",
+                   static_cast<unsigned long long>(leased.leases_revoked_busy));
       return 1;
     }
     return 0;

@@ -7,31 +7,30 @@ cd "$(dirname "$0")/.."
 
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j"$(nproc)" \
-  --target gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test \
-  lease_test chaos_test serving_test
+  --target fiber_test gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test \
+  trace_test lease_test chaos_test serving_test
 
 export ASAN_OPTIONS="detect_leaks=1:halt_on_error=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
-for t in gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test; do
+for t in fiber_test gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test; do
   echo "== ASan/UBSan: $t =="
   ./build-asan/tests/"$t"
 done
 
-# Lease kill tests widen their failure-detection window under sanitizer
-# slowdown, like the chaos soak below.
+# No detection-window env widenings here: the GCS monitor measures this
+# host's scheduling slack at startup and pads the heartbeat window itself
+# (with an extra factor under sanitizers) — see SchedulingSlackUs in
+# src/gcs/monitor.cc.
 echo "== ASan/UBSan: lease_test =="
-RAY_LEASE_HEARTBEAT_US=20000 RAY_LEASE_MISS_THRESHOLD=8 ./build-asan/tests/lease_test
+./build-asan/tests/lease_test
 
-# Widened detection window for the chaos soak: sanitizer slowdown must never
-# starve a live node's heartbeat thread into a false death (same knobs as the
-# TSan gate).
 echo "== ASan/UBSan: chaos_test =="
-RAY_CHAOS_HEARTBEAT_US=20000 RAY_CHAOS_MISS_THRESHOLD=8 ./build-asan/tests/chaos_test
+./build-asan/tests/chaos_test
 
-# Serving tests widen the same knobs plus their SLO/latency/recovery bounds:
-# under the sanitizers the point is the memory check, not the SLO figures.
+# Serving tests still widen their SLO/latency/recovery bounds: under the
+# sanitizers the point is the memory check, not the SLO figures.
 echo "== ASan/UBSan: serving_test =="
-RAY_SERVE_HEARTBEAT_US=20000 RAY_SERVE_MISS_THRESHOLD=8 RAY_SERVE_SLO_US=2000000 \
+RAY_SERVE_SLO_US=2000000 \
   RAY_SERVE_SHED_P99_US=200000 RAY_SERVE_RECOVERY_BOUND_US=15000000 \
   RAY_SERVE_SCALE_DOWN_BOUND_US=30000000 ./build-asan/tests/serving_test
 echo "ASan/UBSan: all clean"

@@ -82,10 +82,10 @@ echo "== check 5/5: lockdep soak (debug build) =="
 cmake --preset debug >/dev/null
 cmake --build --preset debug -j"$(nproc)"
 ctest --test-dir build-debug --output-on-failure -j"$(nproc)"
-# Seeded chaos soak under lockdep; widened detection window because the -O1
-# debug build runs slower than the tier-1 RelWithDebInfo build.
-BUILD_DIR=build-debug RAY_CHAOS_HEARTBEAT_US=20000 RAY_CHAOS_MISS_THRESHOLD=8 \
-  ./scripts/run_chaos.sh
+# Seeded chaos soak under lockdep. No detection-window widening: the monitor
+# measures this host's scheduling slack and pads the window itself (4x under
+# !NDEBUG builds) — see SchedulingSlackUs in src/gcs/monitor.cc.
+BUILD_DIR=build-debug ./scripts/run_chaos.sh
 echo "OK: no lock-order cycles across tier-1 + chaos soak"
 
 # Release-overhead check: the optimized (NDEBUG) build must contain no

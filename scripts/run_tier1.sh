@@ -32,8 +32,14 @@ RAY_BENCH_JSON_DIR=build ./build/bench/bench_object_store --smoke
 
 # Submit-path smoke check: one leased-vs-routed small-task pair; exits nonzero
 # if the direct transport path carried zero tasks (leasing silently disabled),
-# or if lease-pressure revocation churned (revoked > granted).
+# if lease-pressure revocation churned (revoked > granted), or if the dwell
+# gate let busy leases be revoked under steady load.
 RAY_BENCH_JSON_DIR=build ./build/bench/bench_scalability --smoke
+
+# Fiber-runtime density smoke: 10k actors resident on one node as parked
+# fibers; exits nonzero if residency falls short or no fiber ever parked
+# (i.e. actors are secretly blocking their carriers).
+RAY_BENCH_JSON_DIR=build ./build/bench/bench_actor_density --smoke
 
 # Serving smoke check: one open-loop ladder point (p99 must hold the SLO)
 # plus a mid-run node kill (windowed p99 must recover under the SLO).

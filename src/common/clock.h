@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "common/fiber.h"
+
 namespace ray {
 
 inline int64_t NowMicros() {
@@ -18,9 +20,17 @@ inline int64_t NowMicros() {
 inline double NowSeconds() { return static_cast<double>(NowMicros()) / 1e6; }
 
 inline void SleepMicros(int64_t us) {
-  if (us > 0) {
-    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  if (us <= 0) {
+    return;
   }
+  // On a fiber, sleeping must not hold the carrier thread hostage: park with
+  // a timer instead, so thousands of "sleeping" actors/tasks (simulated work,
+  // poll backoffs) coexist on a handful of carriers.
+  if (fiber::OnFiber()) {
+    fiber::SleepUs(us);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
 
 // Scoped stopwatch.

@@ -25,6 +25,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/clock.h"
+#include "common/fiber.h"
 #include "common/lockdep.h"
 
 // ---------------------------------------------------------------------------
@@ -226,6 +228,18 @@ class SCOPED_CAPABILITY ReaderMutexLock {
 
 // ---------------------------------------------------------------------------
 // CondVar: condition variable bound to ray::Mutex at each wait.
+//
+// Fiber-aware: a wait on a fiber registers on an intrusive WaitQueue and
+// parks the fiber instead of blocking its carrier thread — this single
+// branch is what turns every predicate wait in the system (object-store
+// Get, actor mailboxes, dispatch queues, GCS commit waits) into a fiber
+// suspension point. The waiter links while still holding the mutex, so a
+// notify between release and park resolves through the park/permit
+// protocol rather than being lost. Notifies wake both native and fiber
+// waiters; for the population that wasn't meant, that is an ordinary
+// spurious wake absorbed by the predicate loop. Lockdep sees the fiber
+// path exactly like the native one: release before the suspension on the
+// old carrier, acquire after resume on the (possibly different) new one.
 // ---------------------------------------------------------------------------
 class CondVar {
  public:
@@ -236,6 +250,10 @@ class CondVar {
   // All waits REQUIRE the mutex held and atomically release/reacquire it.
   // Spurious wakeups happen; always wait in a `while (!condition)` loop.
   void Wait(Mutex& mu) REQUIRES(mu) {
+    if (fiber::OnFiber()) {
+      FiberWait(mu, -1);
+      return;
+    }
     lockdep::OnRelease(mu.site_);
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
@@ -247,6 +265,11 @@ class CondVar {
   // reacquired either way).
   template <typename Rep, typename Period>
   bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout) REQUIRES(mu) {
+    if (fiber::OnFiber()) {
+      const int64_t us =
+          std::chrono::duration_cast<std::chrono::microseconds>(timeout).count();
+      return FiberWait(mu, NowMicros() + (us > 0 ? us : 0));
+    }
     lockdep::OnRelease(mu.site_);
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     bool notified = cv_.wait_for(native, timeout) == std::cv_status::no_timeout;
@@ -259,6 +282,12 @@ class CondVar {
   template <typename Clock, typename Duration>
   bool WaitUntil(Mutex& mu, std::chrono::time_point<Clock, Duration> deadline)
       REQUIRES(mu) {
+    if (fiber::OnFiber()) {
+      const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             deadline - Clock::now())
+                             .count();
+      return FiberWait(mu, NowMicros() + (us > 0 ? us : 0));
+    }
     lockdep::OnRelease(mu.site_);
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     bool notified = cv_.wait_until(native, deadline) == std::cv_status::no_timeout;
@@ -267,11 +296,32 @@ class CondVar {
     return notified;
   }
 
-  void NotifyOne() { cv_.notify_one(); }
-  void NotifyAll() { cv_.notify_all(); }
+  void NotifyOne() {
+    cv_.notify_one();
+    fiber_waiters_.WakeOne();
+  }
+  void NotifyAll() {
+    cv_.notify_all();
+    fiber_waiters_.WakeAll();
+  }
 
  private:
+  // Returns false on deadline expiry (deadline_us < 0 waits forever).
+  bool FiberWait(Mutex& mu, int64_t deadline_us) NO_THREAD_SAFETY_ANALYSIS {
+    // TSA justification: release/reacquire of `mu` across the park is the
+    // same adopt/release pattern as the native branch; the analysis cannot
+    // model the suspension in between.
+    fiber_waiters_.Link();
+    lockdep::OnRelease(mu.site_);
+    mu.mu_.unlock();
+    const bool notified = fiber_waiters_.ParkLinked(deadline_us);
+    mu.mu_.lock();
+    lockdep::AfterAcquire(mu.site_);
+    return notified;
+  }
+
   std::condition_variable cv_;
+  fiber::WaitQueue fiber_waiters_;
 };
 
 // ---------------------------------------------------------------------------

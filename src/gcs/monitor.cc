@@ -10,6 +10,45 @@
 namespace ray {
 namespace gcs {
 
+namespace {
+
+// Measured scheduling slack of this host: the worst overshoot observed over
+// a handful of short timed sleeps. This is the honest answer to "how late
+// can a heartbeat be even though the node is alive?" — the heartbeat loop is
+// itself a timed sleep, so whatever the kernel/sanitizer does to our probe
+// it also does to every reporter. Probed once per process (first monitor
+// construction) and cached: the point is calibrating to the environment, not
+// tracking transient load. Floor 2ms (a perfect host still has timer
+// granularity), ceiling 200ms (a pathological probe must not make detection
+// windows unbounded).
+int64_t SchedulingSlackUs() {
+  static const int64_t slack = [] {
+    constexpr int64_t kProbeSleepUs = 2'000;
+    int64_t worst = 0;
+    for (int i = 0; i < 5; ++i) {
+      const int64_t start = NowMicros();
+      SleepMicros(kProbeSleepUs);
+      worst = std::max(worst, NowMicros() - start - kProbeSleepUs);
+    }
+    return std::min<int64_t>(200'000, std::max<int64_t>(worst, 2'000));
+  }();
+  return slack;
+}
+
+// Build-type safety factor on the measured slack. Sanitizers serialize and
+// intercept enough that the probe understates tail latency (one probe run
+// happens before the heavy instrumented load starts); debug builds are
+// slower than the probe's straight-line sleep suggests too.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr int64_t kSlackMultiplier = 10;
+#elif !defined(NDEBUG)
+constexpr int64_t kSlackMultiplier = 4;
+#else
+constexpr int64_t kSlackMultiplier = 1;
+#endif
+
+}  // namespace
+
 // --- LivenessView ---
 
 LivenessView::LivenessView(GcsTables* tables) : tables_(tables) {
@@ -79,6 +118,15 @@ GcsMonitor::GcsMonitor(GcsTables* tables, const MonitorConfig& config)
   if (config_.heartbeat_interval_us <= 0) {
     config_.heartbeat_interval_us = 20'000;
   }
+  // Each missed interval is allowed the configured cadence plus the host's
+  // measured (and build-scaled) scheduling slack. With the naive
+  // miss_threshold * interval formula, a 20ms x 5 window was tighter than
+  // one bad scheduling decision on a loaded or sanitized host, and test
+  // scripts papered over it with per-script env widenings; deriving the
+  // window from a measurement replaces that guesswork.
+  detection_bound_us_ =
+      static_cast<int64_t>(config_.miss_threshold) *
+      (config_.heartbeat_interval_us + kSlackMultiplier * SchedulingSlackUs());
   sweep_interval_us_ = config_.sweep_interval_us > 0
                            ? config_.sweep_interval_us
                            : std::max<int64_t>(1'000, config_.heartbeat_interval_us / 4);

@@ -113,9 +113,14 @@ class GcsMonitor {
   // graceful shutdown is not misread as mass node failure).
   void Stop();
 
-  int64_t DetectionBoundUs() const {
-    return config_.heartbeat_interval_us * config_.miss_threshold;
-  }
+  // How long a node's heartbeat may sit unchanged before it is declared
+  // dead. Not the naive miss_threshold * heartbeat_interval_us: each
+  // interval is padded with the *measured* scheduling slack of this host
+  // (see SchedulingSlackUs in monitor.cc), so a loaded CI box or a
+  // sanitizer build that stretches a 20ms sleep into 80ms does not get its
+  // perfectly-alive nodes declared dead. On a quiet release build the
+  // padding is a couple of milliseconds and the bound is close to naive.
+  int64_t DetectionBoundUs() const { return detection_bound_us_; }
   uint64_t NumDeathsDeclared() const {
     return deaths_declared_.load(std::memory_order_relaxed);
   }
@@ -133,6 +138,7 @@ class GcsMonitor {
   GcsTables* tables_;
   MonitorConfig config_;
   int64_t sweep_interval_us_;
+  int64_t detection_bound_us_ = 0;  // fixed at construction (see ctor)
 
   std::unordered_map<NodeId, Observed> observed_;  // sweep-thread private
   std::atomic<uint64_t> deaths_declared_{0};

@@ -8,9 +8,11 @@ namespace ray {
 
 namespace {
 
-thread_local const ExecutionContext* g_execution_context = nullptr;
-
-// RAII for the thread-local execution context around task execution.
+// RAII for the execution context around task execution. The context lives in
+// fiber-local storage: workers and actor loops are fibers, and a fiber that
+// suspends mid-task (blocking Get) must not leak its context to whatever the
+// carrier thread runs next, nor lose it when it resumes on another carrier.
+// Off-fiber callers fall back to plain thread-local storage inside GetFls.
 class ScopedExecutionContext {
  public:
   explicit ScopedExecutionContext(const ExecutionContext* ctx) { SetCurrentExecutionContext(ctx); }
@@ -23,8 +25,12 @@ constexpr int64_t kArgGetTimeoutUs = 2'000'000;
 
 }  // namespace
 
-const ExecutionContext* CurrentExecutionContext() { return g_execution_context; }
-void SetCurrentExecutionContext(const ExecutionContext* ctx) { g_execution_context = ctx; }
+const ExecutionContext* CurrentExecutionContext() {
+  return static_cast<const ExecutionContext*>(fiber::GetFls(fiber::kFlsExecutionContext));
+}
+void SetCurrentExecutionContext(const ExecutionContext* ctx) {
+  fiber::SetFls(fiber::kFlsExecutionContext, const_cast<ExecutionContext*>(ctx));
+}
 
 Node::Node(const RuntimeContext* rt, const LocalSchedulerConfig& scheduler_config,
            const ObjectStoreConfig& store_config)
@@ -43,20 +49,35 @@ Node::Node(const RuntimeContext* rt, const LocalSchedulerConfig& scheduler_confi
 
 Node::~Node() {
   if (IsAlive()) {
-    // Graceful teardown (not a crash): stop accepting and drain.
+    // Graceful teardown (not a crash): stop accepting and drain. Actor
+    // fibers live on the scheduler's fiber runtime, so they must be closed
+    // and joined BEFORE scheduler_->Shutdown() tears the carriers down.
     alive_.store(false, std::memory_order_release);
     rt_->registry->Remove(id_);
+    StopActors();
     transport_->Shutdown();
     scheduler_->Shutdown();
+  }
+}
+
+void Node::StopActors() {
+  std::vector<std::shared_ptr<fiber::Fiber>> fibers;
+  {
     MutexLock lock(actors_mu_);
     for (auto& [aid, actor] : actors_) {
       actor->mailbox.Close();
-      if (actor->thread.joinable()) {
-        actor->thread.join();
+      if (actor->fiber) {
+        fibers.push_back(actor->fiber);
       }
     }
-    actors_.clear();
   }
+  // Join outside the lock: a draining actor method may still dispatch and
+  // thus take actors_mu_ (e.g. a method calling another local actor).
+  for (auto& f : fibers) {
+    f->Join();
+  }
+  MutexLock lock(actors_mu_);
+  actors_.clear();
 }
 
 void Node::Start() {
@@ -81,18 +102,9 @@ void Node::Kill() {
   // connection-refused for control RPCs that race the crash.
   rt_->net->SetNodeDead(id_, true);
   rt_->registry->Remove(id_);
+  StopActors();
   transport_->Shutdown();
   scheduler_->Shutdown();
-  {
-    MutexLock lock(actors_mu_);
-    for (auto& [aid, actor] : actors_) {
-      actor->mailbox.Close();
-      if (actor->thread.joinable()) {
-        actor->thread.join();
-      }
-    }
-    actors_.clear();
-  }
   store_->CrashClear();
 }
 
@@ -201,9 +213,16 @@ void Node::CreateActorInstance(const TaskSpec& spec) {
   LiveActor* raw = live.get();
   {
     MutexLock lock(actors_mu_);
+    if (!IsAlive()) {
+      return;  // lost the race with Kill/teardown: don't spawn onto a
+               // scheduler that is (or is about to be) shutting down
+    }
     auto [it, inserted] = actors_.emplace(spec.actor, std::move(live));
     RAY_CHECK(inserted) << "actor created twice on one node";
-    raw->thread = std::thread([this, raw] { ActorLoop(raw); });
+    // A fiber, not a thread: an idle actor parked on its mailbox costs a few
+    // KB of stack, which is what lets one node hold 100k+ resident actors.
+    raw->fiber = scheduler_->fibers().Spawn([this, raw] { ActorLoop(raw); });
+    RAY_CHECK(raw->fiber != nullptr) << "actor spawn raced fiber-runtime shutdown";
   }
   rt_->tables->actors.SetLocation(spec.actor, id_);
   rt_->tables->tasks.SetState(spec.id, gcs::TaskState::kDone, id_);

@@ -2,9 +2,12 @@
 // worker pool, and the actors hosted here. The node implements task
 // execution: resolving argument buffers from the store, invoking the
 // registered function, and sealing outputs back into the store. Actor
-// methods run on a dedicated thread per actor, serially, in stateful-edge
+// methods run on a dedicated fiber per actor, serially, in stateful-edge
 // order (ordering is enforced by the cursor-object dependency, so the
 // mailbox never sees a method before its predecessor's cursor is sealed).
+// Actor fibers are multiplexed on the local scheduler's carrier threads, so
+// a node can host 100k+ resident actors: an idle actor costs one parked
+// fiber (a few KB of stack) rather than an OS thread.
 #ifndef RAY_RUNTIME_NODE_H_
 #define RAY_RUNTIME_NODE_H_
 
@@ -13,6 +16,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/fiber.h"
 #include "common/id.h"
 #include "common/queue.h"
 #include "common/sync.h"
@@ -60,7 +64,7 @@ class Node {
     std::shared_ptr<void> instance;
     ResourceSet held_resources;
     BlockingQueue<TaskSpec> mailbox;
-    std::thread thread;
+    std::shared_ptr<fiber::Fiber> fiber;
     // Highest method index already applied to this instance. Methods are
     // logged in the GCS and both recovery replay and routing retries can
     // deliver a method twice; skipping duplicates gives the paper's
@@ -73,6 +77,9 @@ class Node {
   // Non-blocking handoff of an actor method to its mailbox.
   void DispatchActorTask(const TaskSpec& spec);
   void ActorLoop(LiveActor* actor);
+  // Closes all mailboxes, joins the actor fibers, and clears the map. Must
+  // run before scheduler_->Shutdown(): actor fibers live on its carriers.
+  void StopActors();
   void ExecuteActorMethod(LiveActor* actor, const TaskSpec& spec);
   void CreateActorInstance(const TaskSpec& spec);
   // Gathers argument buffers: inline values wrap directly; references read

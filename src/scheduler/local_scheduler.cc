@@ -42,9 +42,15 @@ LocalScheduler::LocalScheduler(const NodeId& node, gcs::GcsTables* tables, SimNe
       config_(config),
       liveness_(liveness),
       available_(config.total_resources),
-      // Constructed here, not in Start(): membership callbacks (OnPeerDeath)
-      // can reach a scheduler that is registered but not yet started, and the
-      // pool pointer must already be valid for them to read.
+      // Constructed here, not in Start(): Node spawns actor fibers onto
+      // fibers() before/independently of Start, and membership callbacks
+      // (OnPeerDeath) can reach a scheduler that is registered but not yet
+      // started — both pointers must already be valid.
+      fibers_(std::make_unique<fiber::FiberScheduler>([&config] {
+        fiber::SchedulerOptions opts;
+        opts.num_carriers = config.num_fiber_carriers;
+        return opts;
+      }())),
       fetch_pool_(std::make_unique<ThreadPool>(
           static_cast<size_t>(std::max(1, config.num_fetch_threads)))) {}
 
@@ -56,9 +62,11 @@ void LocalScheduler::Start(Executor executor, ActorDispatcher actor_dispatcher) 
   int num_workers = config_.num_workers > 0
                         ? config_.num_workers
                         : std::max(1, static_cast<int>(config_.total_resources.Get("CPU")));
-  workers_.reserve(num_workers);
+  worker_fibers_.reserve(num_workers);
   for (int i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    // Workers are fibers: a worker that parks (nested Get, mailbox wait)
+    // frees its carrier, so num_workers bounds concurrency, not OS threads.
+    worker_fibers_.push_back(fibers_->Spawn([this] { WorkerLoop(); }));
   }
   ReportHeartbeat();
   heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
@@ -81,12 +89,12 @@ void LocalScheduler::Shutdown() {
     }
     leases_.clear();
   }
-  for (auto& w : workers_) {
-    if (w.joinable()) {
-      w.join();
+  for (auto& w : worker_fibers_) {
+    if (w) {
+      w->Join();
     }
   }
-  workers_.clear();
+  worker_fibers_.clear();
   if (heartbeat_thread_.joinable()) {
     heartbeat_thread_.join();
   }
@@ -127,6 +135,10 @@ void LocalScheduler::Shutdown() {
   for (const auto& [object, token] : subs) {
     tables_->objects.UnsubscribeLocations(object, token);
   }
+  // Last: stop the fiber runtime. Worker fibers are joined above, and Node
+  // joins its actor fibers before calling Shutdown, so the carriers drain
+  // whatever is left (short-lived wakeups) and exit.
+  fibers_->Shutdown();
 }
 
 void LocalScheduler::SetObjectUnreachableHandler(ObjectUnreachableHandler handler) {
@@ -565,20 +577,30 @@ bool LocalScheduler::SubmitOnLease(const std::shared_ptr<WorkerLease>& lease,
 }
 
 namespace {
-// The lease whose pipeline the current thread is draining (null elsewhere);
-// lets a task that blocks mid-execution find and spill its own lease.
-thread_local const std::shared_ptr<WorkerLease>* tl_current_lease = nullptr;
+// The lease whose pipeline the current fiber is draining (null elsewhere);
+// lets a task that blocks mid-execution find and spill its own lease. Lives
+// in fiber-local storage, not a thread_local: a worker fiber that parks mid
+// pipeline may resume on a different carrier thread, and the carrier it left
+// must not hand the lease to whatever fiber it runs next.
+const std::shared_ptr<WorkerLease>* CurrentLease() {
+  return static_cast<const std::shared_ptr<WorkerLease>*>(
+      fiber::GetFls(fiber::kFlsCurrentLease));
+}
+void SetCurrentLease(const std::shared_ptr<WorkerLease>* lease) {
+  fiber::SetFls(fiber::kFlsCurrentLease,
+                const_cast<std::shared_ptr<WorkerLease>*>(lease));
+}
 }  // namespace
 
 void LocalScheduler::RunLeasePipeline(const std::shared_ptr<WorkerLease>& lease) {
-  tl_current_lease = &lease;
+  SetCurrentLease(&lease);
   for (;;) {
     TaskSpec spec;
     {
       MutexLock lock(lease->mu);
       if (lease->pipeline.empty()) {
         lease->active = false;
-        tl_current_lease = nullptr;
+        SetCurrentLease(nullptr);
         return;
       }
       spec = std::move(lease->pipeline.front());
@@ -601,10 +623,11 @@ void LocalScheduler::RunLeasePipeline(const std::shared_ptr<WorkerLease>& lease)
 
 std::vector<TaskSpec> LocalScheduler::NotifyWorkerBlocked() {
   std::vector<TaskSpec> spilled;
-  if (tl_current_lease == nullptr) {
-    return spilled;  // classic worker / actor thread: nothing to spill
+  const std::shared_ptr<WorkerLease>* slot = CurrentLease();
+  if (slot == nullptr) {
+    return spilled;  // classic worker / actor fiber: nothing to spill
   }
-  const std::shared_ptr<WorkerLease>& lease = *tl_current_lease;
+  const std::shared_ptr<WorkerLease>& lease = *slot;
   // Revoke first so new submits are refused, then drain what already queued
   // behind the (about to block) head. A submit racing the revocation can
   // still slip one task in after the drain; it is not lost — it runs when
@@ -802,9 +825,37 @@ void LocalScheduler::RescueStrandedTasks() {
         }
       }
     }
-    for (auto& lease : idle.empty() ? busy : idle) {
-      RevokeLease(lease);
+    if (!idle.empty()) {
+      // Idle reclaim costs the holder nothing and usually relieves the
+      // pressure; restart the dwell clock so a later busy escalation needs
+      // the pressure to persist past this relief too.
+      lease_pressure_since_us_.store(0, std::memory_order_relaxed);
+      for (auto& lease : idle) {
+        RevokeLease(lease);
+      }
+    } else if (!busy.empty()) {
+      // Hysteresis (damping): tearing down a busy lease cancels a hot
+      // pipeline, so require the starvation to persist for a dwell window
+      // instead of escalating on the first tick. A steady leased workload
+      // with transient ready-queue blips never reaches the revocation.
+      const int64_t now = NowMicros();
+      int64_t since = lease_pressure_since_us_.load(std::memory_order_relaxed);
+      if (since == 0) {
+        lease_pressure_since_us_.compare_exchange_strong(since, now,
+                                                         std::memory_order_relaxed);
+        since = lease_pressure_since_us_.load(std::memory_order_relaxed);
+      }
+      if (since != 0 && now - since >= config_.lease_pressure_dwell_us) {
+        lease_pressure_since_us_.store(0, std::memory_order_relaxed);
+        for (auto& lease : busy) {
+          leases_revoked_busy_.fetch_add(1, std::memory_order_relaxed);
+          RevokeLease(lease);
+        }
+      }
     }
+  } else {
+    // No starved ready tasks this tick: pressure was transient, reset.
+    lease_pressure_since_us_.store(0, std::memory_order_relaxed);
   }
 
   // Liveness backstop: a task placed here against stale heartbeats may need

@@ -33,6 +33,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/fiber.h"
 #include "common/id.h"
 #include "common/metrics.h"
 #include "common/queue.h"
@@ -60,6 +61,11 @@ struct LocalSchedulerConfig {
   bool always_forward_to_global = false;
   int num_fetch_threads = 2;
   int num_workers = 0;  // 0 = derive from CPU resource
+  // Carrier threads for the fiber runtime that hosts worker loops and actor
+  // loops. 0 = the fiber runtime's default (max(2, hardware concurrency)).
+  // Workers and actors are fibers, so this — not num_workers — is the node's
+  // OS-thread footprint for execution.
+  int num_fiber_carriers = 0;
   // A ready task whose demand exceeds this node's *available* resources is
   // re-forwarded to the global scheduler once it has sat ready this long.
   // Availability can shrink permanently (actors hold resources until node
@@ -79,6 +85,12 @@ struct LocalSchedulerConfig {
   // A lease with no submissions for this long is revoked by the heartbeat
   // reaper (the idle-timeout return); submitting renews it.
   int64_t lease_idle_timeout_us = 100'000;
+  // Damping for pressure-driven revocation of BUSY leases: when ready tasks
+  // are starved and no idle lease exists, a busy lease is revoked only after
+  // scheduler pressure has persisted this long. A transient ready-queue blip
+  // (e.g. a burst that the next dispatch round absorbs) must not tear down a
+  // hot pipelined lease, which would thrash grant/revoke under load.
+  int64_t lease_pressure_dwell_us = 60'000;
 };
 
 // A leased worker slot: `shape` is carved out of the node's available
@@ -165,6 +177,15 @@ class LocalScheduler {
   size_t NumActiveLeases() const;
   uint64_t NumLeasesGranted() const { return leases_granted_.load(std::memory_order_relaxed); }
   uint64_t NumLeasesRevoked() const { return leases_revoked_.load(std::memory_order_relaxed); }
+  // Subset of NumLeasesRevoked: busy leases torn down by sustained scheduler
+  // pressure (the dwell-gated path). Steady workloads should keep this at 0.
+  uint64_t NumBusyLeasesRevoked() const {
+    return leases_revoked_busy_.load(std::memory_order_relaxed);
+  }
+
+  // The fiber runtime hosting this node's worker and actor fibers. Alive
+  // from construction until Shutdown(); Node spawns actor loops onto it.
+  fiber::FiberScheduler& fibers() { return *fibers_; }
 
   void SetObjectUnreachableHandler(ObjectUnreachableHandler handler);
 
@@ -282,9 +303,18 @@ class LocalScheduler {
   std::atomic<size_t> leased_inflight_{0};
   std::atomic<uint64_t> leases_granted_{0};
   std::atomic<uint64_t> leases_revoked_{0};
+  std::atomic<uint64_t> leases_revoked_busy_{0};
+  // When the pressure condition (ready tasks starved, num_ready_ > 0 with no
+  // grantable resources) was first observed by the rescue pass; 0 = not under
+  // pressure. Gates busy-lease revocation on a dwell window (satellite of the
+  // fiber PR: revocation hysteresis).
+  std::atomic<int64_t> lease_pressure_since_us_{0};
 
   BlockingQueue<DispatchItem> dispatch_queue_;
-  std::vector<std::thread> workers_;
+  // Worker loops are fibers on fibers_'s carrier threads, not OS threads: a
+  // worker blocked in a nested Get parks its fiber and frees the carrier.
+  std::unique_ptr<fiber::FiberScheduler> fibers_;
+  std::vector<std::shared_ptr<fiber::Fiber>> worker_fibers_;
   std::unique_ptr<ThreadPool> fetch_pool_;
   std::thread heartbeat_thread_;
   std::atomic<bool> shutdown_{false};

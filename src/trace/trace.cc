@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/fiber.h"
 #include "common/logging.h"
 #include "trace/collector.h"
 
@@ -154,6 +155,10 @@ void Tracer::Emit(Stage stage, int64_t start_us, int64_t dur_us, const TaskId& t
   slot.start_us = start_us;
   slot.dur_us = dur_us;
   slot.arg = arg;
+  // Fiber identity, not thread identity: worker/actor execution migrates
+  // across carrier threads, and the per-fiber id is what stitches a task's
+  // spans back together after a park/resume.
+  slot.fiber = fiber::CurrentId();
   slot.task = task;
   slot.object = object;
   slot.node = node;

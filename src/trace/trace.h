@@ -106,6 +106,7 @@ struct TraceEvent {
   int64_t start_us = 0;
   int64_t dur_us = 0;  // 0 = instant event
   uint64_t arg = 0;    // stage-specific: bytes, batch size, interned label ids
+  uint64_t fiber = 0;  // emitting fiber id; 0 = emitted off-fiber
   TaskId task;
   ObjectId object;
   NodeId node;
