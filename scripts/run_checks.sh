@@ -16,15 +16,15 @@
 #      in the lock-order graph aborts with both acquisition stacks.
 #
 # Usage: run_checks.sh [quick]
-#   quick — grep gates only (checks 1-2); used by run_tier1.sh so every CI
+#   quick — grep gates only (checks 1-3); used by run_tier1.sh so every CI
 #   run enforces the annotation discipline even without clang or a debug
-#   build. The full five-gate run is the pre-merge bar.
+#   build. The full six-gate run is the pre-merge bar.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
 
-echo "== check 1/5: raw sync primitives outside common/sync.h =="
+echo "== check 1/6: raw sync primitives outside common/sync.h =="
 # Strip // comments before matching so prose mentioning std::mutex (e.g. the
 # layout notes in lockdep.h) doesn't trip the gate.
 raw_hits=$(grep -rnE 'std::(mutex|shared_mutex|lock_guard|unique_lock|shared_lock|condition_variable(_any)?)' \
@@ -40,7 +40,7 @@ if [[ -n "$raw_hits" ]]; then
 fi
 echo "OK: all locking goes through ray::Mutex / ray::SharedMutex"
 
-echo "== check 2/5: NO_THREAD_SAFETY_ANALYSIS budget =="
+echo "== check 2/6: NO_THREAD_SAFETY_ANALYSIS budget =="
 nts_hits=$(grep -rn 'NO_THREAD_SAFETY_ANALYSIS' src/ --include='*.h' --include='*.cc' \
   | grep -v '^src/common/sync\.h:' || true)
 nts_count=$(printf '%s' "$nts_hits" | grep -c . || true)
@@ -60,12 +60,33 @@ while IFS=: read -r file line _; do
 done <<< "$nts_hits"
 echo "OK: $nts_count/5 escape hatches, all justified"
 
+echo "== check 3/6: raw time / randomness primitives outside src/common/ =="
+# Everything that observes wall-clock time, sleeps, or draws entropy must go
+# through the hookable seams in src/common/ (clock.h NowMicros/SleepMicros,
+# random.h Rng) so deterministic-schedule testing (common/dst.h) can virtualise
+# it. Raw std::this_thread::sleep_for, steady_clock::now(), rand() or
+# std::random_device anywhere else bypasses the hook and makes DST runs
+# non-reproducible. Comments are stripped with the same idiom as check 1.
+time_hits=$(grep -rnE 'std::this_thread::sleep_for|std::chrono::steady_clock::now|std::random_device|[^_[:alnum:]]rand\(\)' \
+  src/ --include='*.h' --include='*.cc' \
+  | grep -v '^src/common/' \
+  | grep -vE ':[0-9]+:\s*//' \
+  | sed -E 's/([0-9]+:).*\/\/.*(sleep_for|steady_clock|random_device|rand\(\)).*/\1 COMMENT/' \
+  | grep -v 'COMMENT$' || true)
+if [[ -n "$time_hits" ]]; then
+  echo "FAIL: raw time/randomness primitives found outside src/common/:" >&2
+  echo "$time_hits" >&2
+  echo "Use ray::NowMicros / ray::SleepMicros / ray::Rng so DST can hook them." >&2
+  exit 1
+fi
+echo "OK: all time and entropy flows through the hookable seams in src/common/"
+
 if [[ "$MODE" == "quick" ]]; then
   echo "run_checks: quick mode — grep gates passed (run without 'quick' for the full bar)"
   exit 0
 fi
 
-echo "== check 3/5: clang thread-safety analysis (tidy preset) =="
+echo "== check 4/6: clang thread-safety analysis (tidy preset) =="
 if command -v clang++ >/dev/null 2>&1; then
   cmake --preset tidy >/dev/null
   cmake --build --preset tidy -j"$(nproc)"
@@ -75,10 +96,10 @@ else
   echo "Install LLVM (clang) to verify GUARDED_BY/REQUIRES annotations compile-time." >&2
 fi
 
-echo "== check 4/5: clang-tidy lint =="
+echo "== check 5/6: clang-tidy lint =="
 ./scripts/run_lint.sh
 
-echo "== check 5/5: lockdep soak (debug build) =="
+echo "== check 6/6: lockdep soak (debug build) =="
 cmake --preset debug >/dev/null
 cmake --build --preset debug -j"$(nproc)"
 ctest --test-dir build-debug --output-on-failure -j"$(nproc)"

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Deterministic-schedule exploration gate (common/dst.h + tests/dst_test.cc):
+# seeded interleaving search over the concurrency-protocol scenarios, with
+# the RAY_DST_SEEDED_BUG notify-ordering regression as the canary — it must
+# be found, replay bit-identically, and minimize within the budget.
+#
+# Modes:
+#   smoke (default) — the checked-in budgets (~100-200 schedules per
+#     scenario, well under a second of wall time): what run_tier1.sh runs on
+#     every change.
+#   full — the nightly bar: RAY_DST_SCHEDULES (default 2000) widens every
+#     exploration loop ~10x for schedule-space coverage a per-change gate
+#     cannot afford.
+#
+# The sanitizer gates run the same binary with RAY_DST_SINGLE_SEED=1 instead:
+# single clean-drain schedules only, because abandoned (deadlocked) runs
+# intentionally leak their parked fibers, which detect_leaks would report.
+#
+# BUILD_DIR overrides the build tree (e.g. BUILD_DIR=build-debug).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-smoke}"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target dst_test >/dev/null
+
+case "$MODE" in
+  smoke)
+    ./"$BUILD_DIR"/tests/dst_test
+    ;;
+  full)
+    RAY_DST_SCHEDULES="${RAY_DST_SCHEDULES:-2000}" ./"$BUILD_DIR"/tests/dst_test
+    ;;
+  *)
+    echo "usage: run_dst.sh [smoke|full]" >&2
+    exit 2
+    ;;
+esac
+echo "run_dst ($MODE): OK"

@@ -48,3 +48,7 @@ RAY_BENCH_JSON_DIR=build ./build/bench/bench_serving --smoke
 # Chaos gate: seeded fault-injection soak (kills, partitions, throttles,
 # packet loss) over a bounded set of fixed seeds.
 ./scripts/run_chaos.sh
+
+# Deterministic-schedule exploration gate, smoke budget (the full budget is
+# the nightly bar: scripts/run_dst.sh full).
+./scripts/run_dst.sh smoke

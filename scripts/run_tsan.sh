@@ -18,7 +18,7 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j"$(nproc)" \
   --target fiber_test gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test \
-  trace_test lease_test chaos_test serving_test
+  trace_test lease_test chaos_test serving_test dst_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 for t in fiber_test gcs_test pubsub_test scheduler_test net_objectstore_test pull_manager_test trace_test; do
@@ -35,6 +35,12 @@ echo "== TSan: lease_test =="
 
 echo "== TSan: chaos_test =="
 ./build-tsan/tests/chaos_test
+
+# Single-seed mode: clean-drain schedules only. Exploration abandons
+# deadlocked runs (leaking their parked fibers by design), which the
+# sanitizers would flag; the race coverage here is the DST runtime itself.
+echo "== TSan: dst_test (single-seed) =="
+RAY_DST_SINGLE_SEED=1 ./build-tsan/tests/dst_test
 
 # Serving tests still widen their latency/recovery bounds: under TSan the
 # point is the race check, not the SLO figures.

@@ -1,5 +1,10 @@
 // Time utilities. All latencies in the system are measured with the steady
-// clock; benches report microseconds/milliseconds derived from it.
+// clock; benches report microseconds/milliseconds derived from it. This is
+// the hookable time seam: when dst's time hooks are active (virtual time
+// during deterministic-schedule runs, per-node skew domains under chaos),
+// NowMicros/SleepMicros route through them, which is why nothing outside
+// src/common/ may call std::chrono::steady_clock::now() or
+// std::this_thread::sleep_for directly (run_checks.sh enforces this).
 #ifndef RAY_COMMON_CLOCK_H_
 #define RAY_COMMON_CLOCK_H_
 
@@ -7,11 +12,15 @@
 #include <cstdint>
 #include <thread>
 
+#include "common/dst.h"
 #include "common/fiber.h"
 
 namespace ray {
 
 inline int64_t NowMicros() {
+  if (dst::TimeHooksActive()) {
+    return dst::HookedNowMicros();
+  }
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
@@ -25,9 +34,14 @@ inline void SleepMicros(int64_t us) {
   }
   // On a fiber, sleeping must not hold the carrier thread hostage: park with
   // a timer instead, so thousands of "sleeping" actors/tasks (simulated work,
-  // poll backoffs) coexist on a handful of carriers.
+  // poll backoffs) coexist on a handful of carriers. (ParkUntil converts the
+  // domain deadline for the timer heap, so skewed fibers sleep skewed time.)
   if (fiber::OnFiber()) {
     fiber::SleepUs(us);
+    return;
+  }
+  if (dst::TimeHooksActive()) {
+    dst::HookedSleepMicros(us);
     return;
   }
   std::this_thread::sleep_for(std::chrono::microseconds(us));
@@ -50,6 +64,12 @@ class Timer {
 // distort sub-100us measurements; falls back to sleeping for longer waits.
 inline void PreciseDelayMicros(int64_t us) {
   if (us <= 0) {
+    return;
+  }
+  if (dst::VirtualTimeActive()) {
+    // Spinning on a frozen virtual clock would never terminate (the carrier
+    // only advances it while this fiber is parked); sleep logically instead.
+    SleepMicros(us);
     return;
   }
   int64_t deadline = NowMicros() + us;

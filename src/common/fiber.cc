@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/dst.h"
 #include "common/logging.h"
 #include "common/sync.h"
 
@@ -253,6 +254,8 @@ struct FiberScheduler::Impl {
   StackPool stacks;
 
   void CarrierMain();
+  void DstCarrierMain();
+  void SetupCarrier(CarrierState& cs);
   void RunFiber(Fiber* f);
   void FinishFiber(Fiber* f);
   void InitStack(Fiber* f);
@@ -340,7 +343,10 @@ bool ParkUntil(int64_t deadline_us) {
       f->park_state_.store(Fiber::kRunning);
       return true;
     }
-    f->scheduler_->AddTimer(deadline_us, f->shared_from_this(), epoch);
+    // The timer heap runs on the base clock; the caller's deadline is on its
+    // clock domain (identity unless dst time hooks are active).
+    f->scheduler_->AddTimer(dst::ToBaseDeadlineMicros(deadline_us), f->shared_from_this(),
+                            epoch);
   }
   FiberScheduler::SwitchOut(f, Fiber::SwitchReason::kPark);
   return !(deadline_us >= 0 && NowMicros() >= deadline_us);
@@ -438,6 +444,32 @@ void WaitQueue::WakeOne() {
   // the race, finish, and drop its self-keepalive before we touch it.
   std::shared_ptr<Fiber> target;
   lock_.lock();
+  if (dst::OnDstCarrier() && head_ != nullptr && head_->wait_next_ != nullptr) {
+    // DST: the wake victim is a scheduling decision, not FIFO position.
+    constexpr uint32_t kMaxWakeCandidates = 64;  // scenario queues stay small
+    uint32_t n = 0;
+    uint64_t ids[kMaxWakeCandidates];
+    for (Fiber* it = head_; it != nullptr && n < kMaxWakeCandidates; it = it->wait_next_) {
+      ids[n++] = it->id();
+    }
+    uint32_t k = dst::Choice(dst::ChoiceKind::kWakeOne, dst::kSiteWakeOne, n, ids);
+    Fiber* prev = nullptr;
+    Fiber* victim = head_;
+    while (k-- > 0) {
+      prev = victim;
+      victim = victim->wait_next_;
+    }
+    (prev != nullptr ? prev->wait_next_ : head_) = victim->wait_next_;
+    if (tail_ == victim) {
+      tail_ = prev;
+    }
+    victim->wait_next_ = nullptr;
+    victim->wait_queue_ = nullptr;
+    target = victim->shared_from_this();
+    lock_.unlock();
+    target->Unpark();
+    return;
+  }
   Fiber* f = PopLocked();
   if (f != nullptr) {
     target = f->shared_from_this();
@@ -614,8 +646,7 @@ void FiberScheduler::Impl::FinishFiber(Fiber* f) {
   f->self_keepalive_.reset();  // may destroy *f — must be the last access
 }
 
-void FiberScheduler::Impl::CarrierMain() {
-  CarrierState& cs = tl_carrier;
+void FiberScheduler::Impl::SetupCarrier(CarrierState& cs) {
   cs.scheduler = self;
 #if defined(__SANITIZE_THREAD__)
   cs.tsan_fiber = __tsan_get_current_fiber();
@@ -632,6 +663,11 @@ void FiberScheduler::Impl::CarrierMain() {
     cs.stack_size = size;
   }
 #endif
+}
+
+void FiberScheduler::Impl::CarrierMain() {
+  CarrierState& cs = tl_carrier;
+  SetupCarrier(cs);
   std::vector<TimerEntry> due;
   for (;;) {
     Fiber* next = nullptr;
@@ -683,6 +719,93 @@ void FiberScheduler::Impl::CarrierMain() {
   }
 }
 
+// Single-carrier, strategy-driven variant (common/dst.h). Differences from
+// CarrierMain: the runnable pick flattens the priority queues through a
+// kPickFiber choice, due-timer firing order is a kTimerOrder choice, timers
+// advance the virtual clock instead of sleeping, and the loop detects
+// deadlock (all fibers parked, no timers) and livelock (step budget),
+// abandoning the run so the driver can harvest the failure.
+void FiberScheduler::Impl::DstCarrierMain() {
+  CarrierState& cs = tl_carrier;
+  SetupCarrier(cs);
+  dst::BindDstCarrier(true);
+  std::vector<TimerEntry> due;
+  std::vector<uint64_t> candidates;
+  bool exit = false;
+  while (!exit && !dst::RunAborted()) {
+    Fiber* next = nullptr;
+    due.clear();
+    {
+      MutexLock lock(queue_mu);
+      for (;;) {
+        const int64_t now = NowMicros();  // carrier = domain 0 = virtual base
+        while (!timers.empty() && timers.front().deadline_us <= now) {
+          std::pop_heap(timers.begin(), timers.end(), std::greater<>());
+          due.push_back(std::move(timers.back()));
+          timers.pop_back();
+        }
+        if (!due.empty()) {
+          break;
+        }
+        const size_t runnable = runq[0].size() + runq[1].size() + runq[2].size();
+        if (runnable > 0) {
+          candidates.clear();
+          for (const auto& q : runq) {
+            for (Fiber* f : q) {
+              candidates.push_back(f->id());
+            }
+          }
+          uint32_t k = dst::Choice(dst::ChoiceKind::kPickFiber, dst::kSiteRunqPick,
+                                   static_cast<uint32_t>(runnable), candidates.data());
+          for (auto& q : runq) {
+            if (k < q.size()) {
+              next = q[k];
+              q.erase(q.begin() + k);
+              break;
+            }
+            k -= static_cast<uint32_t>(q.size());
+          }
+          break;
+        }
+        if (stop && resident.load() == 0) {
+          exit = true;
+          break;
+        }
+        if (!timers.empty()) {
+          // Nothing runnable: discrete-event jump to the next deadline.
+          dst::AdvanceVirtualBaseTo(timers.front().deadline_us);
+          continue;
+        }
+        if (resident.load() > 0 && dst::RunActive()) {
+          lock.Unlock();
+          dst::ReportDeadlock(resident.load());
+          exit = true;
+          break;
+        }
+        // Idle: waiting for the driver's root spawn or Shutdown.
+        queue_cv.WaitFor(queue_mu, std::chrono::milliseconds(5));
+      }
+    }
+    while (!due.empty()) {
+      const uint32_t k = dst::Choice(dst::ChoiceKind::kTimerOrder, dst::kSiteTimerFire,
+                                     static_cast<uint32_t>(due.size()), nullptr);
+      TimerEntry t = std::move(due[k]);
+      due.erase(due.begin() + k);
+      if (t.fiber->park_epoch_.load() == t.epoch) {
+        t.fiber->Unpark();
+      }
+      t.fiber.reset();
+    }
+    if (next != nullptr) {
+      if (!dst::ConsumeStep()) {
+        break;
+      }
+      RunFiber(next);
+    }
+  }
+  dst::BindDstCarrier(false);
+}
+
 // ---------------------------------------------------------------------------
 // FiberScheduler.
 // ---------------------------------------------------------------------------
@@ -691,7 +814,10 @@ FiberScheduler::FiberScheduler(const SchedulerOptions& options) : impl_(new Impl
   Impl& im = *impl_;
   im.opts = options;
   im.self = this;
-  if (im.opts.num_carriers <= 0) {
+  if (im.opts.dst_mode) {
+    // Systematic exploration owns all interleaving: exactly one carrier.
+    im.opts.num_carriers = 1;
+  } else if (im.opts.num_carriers <= 0) {
     im.opts.num_carriers =
         std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
   }
@@ -705,7 +831,13 @@ FiberScheduler::FiberScheduler(const SchedulerOptions& options) : impl_(new Impl
   im.stacks.Init(im.opts.stack_bytes, im.opts.guard_pages, im.opts.max_guarded_stacks);
   im.carriers.reserve(im.opts.num_carriers);
   for (int i = 0; i < im.opts.num_carriers; ++i) {
-    im.carriers.emplace_back([this] { impl_->CarrierMain(); });
+    im.carriers.emplace_back([this] {
+      if (impl_->opts.dst_mode) {
+        impl_->DstCarrierMain();
+      } else {
+        impl_->CarrierMain();
+      }
+    });
   }
 }
 

@@ -75,6 +75,8 @@ inline constexpr int kNumPriorities = 3;
 // back to a plain thread_local array, so call sites need no branches.
 inline constexpr int kFlsExecutionContext = 0;
 inline constexpr int kFlsCurrentLease = 1;
+// Clock domain tag (common/dst.h skew + virtual time), stored as a uintptr.
+inline constexpr int kFlsClockDomain = 3;
 inline constexpr int kFlsSlots = 4;
 
 void* GetFls(int slot);
@@ -174,6 +176,12 @@ struct SchedulerOptions {
   bool guard_pages = true;
 #endif
   size_t max_guarded_stacks = 8192;
+  // Deterministic-schedule-testing mode (common/dst.h): a single carrier
+  // whose every scheduling decision — runnable-fiber pick, timer firing
+  // order, CondVar wake victim — is delegated to the active dst run's
+  // ScheduleStrategy, with timers driven by the virtual clock. Forces
+  // num_carriers = 1.
+  bool dst_mode = false;
 };
 
 // One fiber. Created via FiberScheduler::Spawn; destroyed when the last

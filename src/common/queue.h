@@ -43,10 +43,10 @@ class BlockingQueue {
   }
 
   std::optional<T> PopWithTimeout(std::chrono::milliseconds timeout) {
-    auto deadline = std::chrono::steady_clock::now() + timeout;
+    const int64_t deadline_us = NowMicros() + timeout.count() * 1000;
     MutexLock lock(mu_);
     while (items_.empty() && !closed_) {
-      if (!cv_.WaitUntil(mu_, deadline)) {
+      if (!cv_.WaitUntilMicros(mu_, deadline_us)) {
         break;
       }
     }

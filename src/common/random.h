@@ -8,11 +8,16 @@
 #include <random>
 #include <vector>
 
+#include "common/dst.h"
+
 namespace ray {
 
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : gen_(seed) {}
+  // During a deterministic-schedule run, the run seed is mixed in, so the
+  // same component seed yields different (but per-run reproducible) streams
+  // across explored schedules. Identity outside DST runs.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : gen_(dst::MixSeed(seed)) {}
 
   double Uniform(double lo = 0.0, double hi = 1.0) {
     return std::uniform_real_distribution<double>(lo, hi)(gen_);

@@ -26,6 +26,7 @@
 #include <shared_mutex>
 
 #include "common/clock.h"
+#include "common/dst.h"
 #include "common/fiber.h"
 #include "common/lockdep.h"
 
@@ -77,7 +78,13 @@ class CAPABILITY("mutex") Mutex {
 
   void Lock() ACQUIRE() {
     lockdep::BeforeAcquire(site_);
-    mu_.lock();
+    if (dst::OnDstFiber()) {
+      // DST: acquisition is a choice point, and contention parks the fiber
+      // instead of blocking the single carrier (common/dst.h).
+      dst::LockAcquire(&mu_, [](void* m) { return static_cast<std::mutex*>(m)->try_lock(); });
+    } else {
+      mu_.lock();
+    }
     lockdep::AfterAcquire(site_);
   }
 
@@ -92,6 +99,9 @@ class CAPABILITY("mutex") Mutex {
   void Unlock() RELEASE() {
     lockdep::OnRelease(site_);
     mu_.unlock();
+    if (dst::OnDstFiber()) {
+      dst::LockRelease(&mu_);
+    }
   }
 
  private:
@@ -115,24 +125,40 @@ class CAPABILITY("shared_mutex") SharedMutex {
 
   void Lock() ACQUIRE() {
     lockdep::BeforeAcquire(site_);
-    mu_.lock();
+    if (dst::OnDstFiber()) {
+      dst::LockAcquire(&mu_,
+                       [](void* m) { return static_cast<std::shared_mutex*>(m)->try_lock(); });
+    } else {
+      mu_.lock();
+    }
     lockdep::AfterAcquire(site_);
   }
 
   void Unlock() RELEASE() {
     lockdep::OnRelease(site_);
     mu_.unlock();
+    if (dst::OnDstFiber()) {
+      dst::LockRelease(&mu_);
+    }
   }
 
   void ReaderLock() ACQUIRE_SHARED() {
     lockdep::BeforeAcquire(site_);
-    mu_.lock_shared();
+    if (dst::OnDstFiber()) {
+      dst::LockAcquire(
+          &mu_, [](void* m) { return static_cast<std::shared_mutex*>(m)->try_lock_shared(); });
+    } else {
+      mu_.lock_shared();
+    }
     lockdep::AfterAcquire(site_);
   }
 
   void ReaderUnlock() RELEASE_SHARED() {
     lockdep::OnRelease(site_);
     mu_.unlock_shared();
+    if (dst::OnDstFiber()) {
+      dst::LockRelease(&mu_);
+    }
   }
 
  private:
@@ -265,32 +291,39 @@ class CondVar {
   // reacquired either way).
   template <typename Rep, typename Period>
   bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout) REQUIRES(mu) {
-    if (fiber::OnFiber()) {
-      const int64_t us =
-          std::chrono::duration_cast<std::chrono::microseconds>(timeout).count();
-      return FiberWait(mu, NowMicros() + (us > 0 ? us : 0));
-    }
-    lockdep::OnRelease(mu.site_);
-    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
-    bool notified = cv_.wait_for(native, timeout) == std::cv_status::no_timeout;
-    native.release();
-    lockdep::AfterAcquire(mu.site_);
-    return notified;
+    const int64_t us =
+        std::chrono::duration_cast<std::chrono::microseconds>(timeout).count();
+    return WaitUntilMicros(mu, NowMicros() + (us > 0 ? us : 0));
   }
 
-  // Returns false if `deadline` passed before a notification.
-  template <typename Clock, typename Duration>
-  bool WaitUntil(Mutex& mu, std::chrono::time_point<Clock, Duration> deadline)
-      REQUIRES(mu) {
+  // Returns false if `deadline_us` (NowMicros clock — i.e. the caller's
+  // clock domain) passed before a notification. The only timed-wait
+  // primitive: deadlines built from raw std::chrono clocks would bypass the
+  // hookable clock seam (virtual time, skew domains) that dst relies on.
+  bool WaitUntilMicros(Mutex& mu, int64_t deadline_us) REQUIRES(mu) {
     if (fiber::OnFiber()) {
-      const int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
-                             deadline - Clock::now())
-                             .count();
-      return FiberWait(mu, NowMicros() + (us > 0 ? us : 0));
+      return FiberWait(mu, deadline_us);
     }
     lockdep::OnRelease(mu.site_);
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
-    bool notified = cv_.wait_until(native, deadline) == std::cv_status::no_timeout;
+    bool notified = false;
+    if (dst::TimeHooksActive()) {
+      // A native thread cannot wait on virtual/skewed time: wait in short
+      // real slices and re-check the hooked deadline between them.
+      while (NowMicros() < deadline_us) {
+        if (cv_.wait_for(native, std::chrono::milliseconds(1)) ==
+            std::cv_status::no_timeout) {
+          notified = true;
+          break;
+        }
+      }
+    } else {
+      const int64_t now = NowMicros();
+      if (now < deadline_us) {
+        notified = cv_.wait_for(native, std::chrono::microseconds(deadline_us - now)) ==
+                   std::cv_status::no_timeout;
+      }
+    }
     native.release();
     lockdep::AfterAcquire(mu.site_);
     return notified;
@@ -311,11 +344,29 @@ class CondVar {
     // TSA justification: release/reacquire of `mu` across the park is the
     // same adopt/release pattern as the native branch; the analysis cannot
     // model the suspension in between.
+    //
+    // DST: the window between the caller's predicate check and the Link
+    // below is exactly where a misordered notify gets lost; surface it as an
+    // explicit preemption point (no-op outside DST runs).
+    dst::SchedulePoint(dst::kSiteCondWait);
     fiber_waiters_.Link();
     lockdep::OnRelease(mu.site_);
     mu.mu_.unlock();
+    if (dst::OnDstFiber()) {
+      // Wake fibers parked in dst::LockAcquire on this mutex — the raw
+      // unlock above bypasses Mutex::Unlock, and a missed handoff here would
+      // read as a (false) deadlock to the explorer.
+      dst::LockRelease(&mu.mu_);
+    }
     const bool notified = fiber_waiters_.ParkLinked(deadline_us);
-    mu.mu_.lock();
+    if (dst::OnDstFiber()) {
+      // Reacquire cooperatively: a native lock() here would wedge the single
+      // DST carrier if another fiber holds the mutex.
+      dst::LockAcquire(&mu.mu_,
+                       [](void* m) { return static_cast<std::mutex*>(m)->try_lock(); });
+    } else {
+      mu.mu_.lock();
+    }
     lockdep::AfterAcquire(mu.site_);
     return notified;
   }
@@ -347,10 +398,10 @@ class CountDownLatch {
   }
 
   bool WaitFor(std::chrono::milliseconds timeout) {
-    auto deadline = std::chrono::steady_clock::now() + timeout;
+    const int64_t deadline_us = NowMicros() + timeout.count() * 1000;
     MutexLock lock(mu_);
     while (count_ != 0) {
-      if (!cv_.WaitUntil(mu_, deadline)) {
+      if (!cv_.WaitUntilMicros(mu_, deadline_us)) {
         return count_ == 0;
       }
     }
@@ -379,10 +430,10 @@ class Notification {
   }
 
   bool WaitFor(std::chrono::milliseconds timeout) {
-    auto deadline = std::chrono::steady_clock::now() + timeout;
+    const int64_t deadline_us = NowMicros() + timeout.count() * 1000;
     MutexLock lock(mu_);
     while (!notified_) {
-      if (!cv_.WaitUntil(mu_, deadline)) {
+      if (!cv_.WaitUntilMicros(mu_, deadline_us)) {
         return notified_;
       }
     }

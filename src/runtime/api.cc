@@ -168,12 +168,13 @@ std::vector<size_t> Ray::Wait(const std::vector<ObjectId>& ids, size_t num_ready
   return result;
 }
 
-ActorHandle Ray::CreateActor(const std::string& class_name, const ResourceSet& resources) {
-  return CreateActorSpread(class_name, std::string(), resources);
+ActorHandle Ray::CreateActor(const std::string& class_name, const ResourceSet& resources,
+                             TaskPriority priority) {
+  return CreateActorSpread(class_name, std::string(), resources, priority);
 }
 
 ActorHandle Ray::CreateActorSpread(const std::string& class_name, const std::string& spread_group,
-                                   const ResourceSet& resources) {
+                                   const ResourceSet& resources, TaskPriority priority) {
   TaskSpec spec;
   spec.id = TaskId::FromRandom();
   spec.function_name = "__actor_create__:" + class_name;
@@ -182,6 +183,7 @@ ActorHandle Ray::CreateActorSpread(const std::string& class_name, const std::str
   spec.actor_class = class_name;
   spec.resources = resources;
   spec.spread_group = spread_group;
+  spec.priority = priority;
   const ExecutionContext* ctx = CurrentExecutionContext();
   if (ctx != nullptr && ctx->cluster == cluster_) {
     spec.parent = ctx->current_task;

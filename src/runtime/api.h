@@ -120,14 +120,18 @@ class Ray {
   }
 
   // --- actors ---
+  // `priority` maps to the actor fiber's run-queue level: a kHigh actor's
+  // method calls run before kNormal/kLow fibers when carriers are saturated.
   ActorHandle CreateActor(const std::string& class_name,
-                          const ResourceSet& resources = ResourceSet::Cpu(1));
+                          const ResourceSet& resources = ResourceSet::Cpu(1),
+                          TaskPriority priority = TaskPriority::kNormal);
 
   // Spread variant (serving replicas): the creation carries `spread_group` as
   // a placement hint and routes through the global scheduler, which places it
   // on the live node hosting the fewest current members of that group.
   ActorHandle CreateActorSpread(const std::string& class_name, const std::string& spread_group,
-                                const ResourceSet& resources = ResourceSet::Cpu(1));
+                                const ResourceSet& resources = ResourceSet::Cpu(1),
+                                TaskPriority priority = TaskPriority::kNormal);
 
   Cluster& cluster() { return *cluster_; }
   const NodeId& home() const { return home_; }

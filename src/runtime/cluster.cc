@@ -45,7 +45,11 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   death_cb_token_ = liveness_->AddDeathCallback([this](const NodeId& n) { OnNodeDeath(n); });
 
   for (int i = 0; i < config_.num_nodes; ++i) {
-    AddNodeInternal(config_.scheduler);
+    LocalSchedulerConfig scfg = config_.scheduler;
+    if (config_.per_node_clock_domains) {
+      scfg.clock_domain = static_cast<uint32_t>(i) + 1;
+    }
+    AddNodeInternal(scfg);
   }
 
   // The monitor starts last: a node it has never observed gets a full
@@ -184,10 +188,10 @@ uint64_t Cluster::ClusterEventEpoch() {
 }
 
 uint64_t Cluster::WaitForClusterEvent(uint64_t seen, int64_t max_wait_us) {
-  auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(max_wait_us);
+  const int64_t deadline_us = NowMicros() + max_wait_us;
   MutexLock lock(event_mu_);
   while (event_epoch_ == seen) {
-    if (!event_cv_.WaitUntil(event_mu_, deadline)) {
+    if (!event_cv_.WaitUntilMicros(event_mu_, deadline_us)) {
       break;  // timed out
     }
   }

@@ -41,6 +41,10 @@ struct ClusterConfig {
   // Mirror every submitted task into an in-memory TaskGraph (debug tooling;
   // off by default as it is global-lock-shared state).
   bool build_task_graph = false;
+  // Chaos clock-skew fault: give node i clock domain i+1, so tests can apply
+  // per-node offset/drift via dst::SetClockDomainSkew without per-node
+  // scheduler configs. Off = every node on the base clock (domain 0).
+  bool per_node_clock_domains = false;
 };
 
 class Cluster {

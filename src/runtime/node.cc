@@ -23,6 +23,18 @@ class ScopedExecutionContext {
 // remote get bounds worst-case stalls (e.g. racing an eviction).
 constexpr int64_t kArgGetTimeoutUs = 2'000'000;
 
+fiber::Priority ToFiberPriority(TaskPriority p) {
+  switch (p) {
+    case TaskPriority::kHigh:
+      return fiber::Priority::kHigh;
+    case TaskPriority::kLow:
+      return fiber::Priority::kLow;
+    case TaskPriority::kNormal:
+      break;
+  }
+  return fiber::Priority::kNormal;
+}
+
 }  // namespace
 
 const ExecutionContext* CurrentExecutionContext() {
@@ -221,7 +233,10 @@ void Node::CreateActorInstance(const TaskSpec& spec) {
     RAY_CHECK(inserted) << "actor created twice on one node";
     // A fiber, not a thread: an idle actor parked on its mailbox costs a few
     // KB of stack, which is what lets one node hold 100k+ resident actors.
-    raw->fiber = scheduler_->fibers().Spawn([this, raw] { ActorLoop(raw); });
+    // The creation spec's priority becomes the fiber's run-queue level, so
+    // the chain survives recovery too (the spec is durable in the GCS).
+    raw->fiber = scheduler_->fibers().Spawn([this, raw] { ActorLoop(raw); },
+                                            ToFiberPriority(spec.priority));
     RAY_CHECK(raw->fiber != nullptr) << "actor spawn raced fiber-runtime shutdown";
   }
   rt_->tables->actors.SetLocation(spec.actor, id_);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/clock.h"
+#include "common/dst.h"
 #include "common/logging.h"
 
 namespace ray {
@@ -759,6 +760,9 @@ void LocalScheduler::OnPeerDeath(const NodeId& node) {
 }
 
 void LocalScheduler::HeartbeatLoop() {
+  // Tagging the reporter thread (not the whole node) keeps the fault
+  // surgical: only heartbeat timing sees the skewed clock.
+  dst::SetCurrentClockDomain(config_.clock_domain);
   while (!shutdown_.load(std::memory_order_relaxed)) {
     SleepMicros(config_.heartbeat_interval_us);
     if (shutdown_.load(std::memory_order_relaxed)) {

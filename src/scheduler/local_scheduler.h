@@ -66,6 +66,11 @@ struct LocalSchedulerConfig {
   // Workers and actors are fibers, so this — not num_workers — is the node's
   // OS-thread footprint for execution.
   int num_fiber_carriers = 0;
+  // Clock domain (common/dst.h) the heartbeat reporter runs in. Non-zero
+  // domains can carry offset/drift skew — the chaos clock-skew fault — so a
+  // node's heartbeat cadence stretches or shifts relative to the GCS
+  // monitor's clock. 0 = the base clock (no skew possible).
+  uint32_t clock_domain = 0;
   // A ready task whose demand exceeds this node's *available* resources is
   // re-forwarded to the global scheduler once it has sat ready this long.
   // Availability can shrink permanently (actors hold resources until node

@@ -33,10 +33,10 @@ void Autoscaler::Stop() {
 void Autoscaler::Loop() {
   for (;;) {
     {
-      auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(config_.tick_us);
+      const int64_t deadline_us = NowMicros() + config_.tick_us;
       MutexLock lock(mu_);
       while (!stop_) {
-        if (!cv_.WaitUntil(mu_, deadline)) {
+        if (!cv_.WaitUntilMicros(mu_, deadline_us)) {
           break;
         }
       }

@@ -138,11 +138,10 @@ void Router::RemoveReplica() {
 void Router::TickLoop() {
   for (;;) {
     {
-      auto deadline =
-          std::chrono::steady_clock::now() + std::chrono::microseconds(config_.tick_us);
+      const int64_t deadline_us = NowMicros() + config_.tick_us;
       MutexLock lock(tick_mu_);
       while (!tick_stop_) {
-        if (!tick_cv_.WaitUntil(tick_mu_, deadline)) {
+        if (!tick_cv_.WaitUntilMicros(tick_mu_, deadline_us)) {
           break;
         }
       }

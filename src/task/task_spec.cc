@@ -35,6 +35,7 @@ std::string TaskSpec::Serialize() const {
   w.WritePod<uint8_t>(actor_method_read_only ? 1 : 0);
   Put(w, actor_class);
   Put(w, spread_group);
+  w.WritePod<uint8_t>(static_cast<uint8_t>(priority));
   return w.Finish()->ToString();
 }
 
@@ -61,6 +62,7 @@ TaskSpec TaskSpec::Deserialize(const std::string& bytes) {
   spec.actor_method_read_only = r.ReadPod<uint8_t>() != 0;
   spec.actor_class = Take<std::string>(r);
   spec.spread_group = Take<std::string>(r);
+  spec.priority = static_cast<TaskPriority>(r.ReadPod<uint8_t>());
   return spec;
 }
 

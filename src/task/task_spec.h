@@ -17,6 +17,11 @@
 
 namespace ray {
 
+// Execution priority carried by a spec. For actor creations it becomes the
+// actor fiber's run-queue level (fiber::Priority), so high-priority actors'
+// method calls run first when carriers are saturated.
+enum class TaskPriority : uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+
 // A task argument: either a reference to an object in the store (a future
 // passed in) or a small inlined value.
 struct TaskArg {
@@ -58,6 +63,8 @@ struct TaskSpec {
   // state: they depend on the current cursor but do not advance the chain,
   // are excluded from the replay log, and re-execute on demand if lost.
   bool actor_method_read_only = false;
+
+  TaskPriority priority = TaskPriority::kNormal;
 
   // Placement hint: non-empty names a replica group whose members should be
   // spread across nodes. The submission path sends such tasks through the

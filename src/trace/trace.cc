@@ -265,10 +265,10 @@ uint64_t Tracer::EventsDropped() const {
 HangWatchdog::HangWatchdog(int64_t timeout_us, std::string dump_path)
     : dump_path_(std::move(dump_path)) {
   thread_ = std::thread([this, timeout_us] {
-    auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(timeout_us);
+    const int64_t deadline_us = NowMicros() + timeout_us;
     MutexLock lock(mu_);
     while (!disarmed_.load(std::memory_order_acquire)) {
-      if (!cv_.WaitUntil(mu_, deadline)) {
+      if (!cv_.WaitUntilMicros(mu_, deadline_us)) {
         break;  // timed out
       }
     }

@@ -10,6 +10,8 @@
 #include <cstdlib>
 
 #include "common/clock.h"
+#include "common/dst.h"
+#include "gcs/monitor.h"
 #include "runtime/api.h"
 #include "tools/chaos.h"
 
@@ -95,6 +97,54 @@ TEST(ChaosSoakTest, ChainWorkloadSurvivesContinuousFaults) {
   }
   // Rejoins balance kills once Stop() lands the stragglers.
   EXPECT_EQ(stats.kills, stats.rejoins);
+}
+
+// Clock-skew fault: every node's heartbeat loop runs on its own skewed clock
+// domain (bounded offset and drift, the realistic pre-NTP-convergence case).
+// The failure detector is arrival-time based — it timestamps heartbeats with
+// the monitor's own clock — so bounded sender skew must not fake a death.
+// A detector that trusted sender timestamps would declare the -0.5s node
+// dead instantly.
+TEST(ChaosClockSkewTest, BoundedSkewCausesNoFalsePositiveDeaths) {
+  struct SkewGuard {
+    ~SkewGuard() { dst::ResetClockDomains(); }
+  } guard;  // hooks off even if an assertion fires
+
+  // Offsets up to +/-500ms and drift up to +/-2% — far beyond what NTP
+  // tolerates, well within what the arrival-based detector must absorb.
+  dst::SetClockDomainSkew(1, 500'000, 20'000);
+  dst::SetClockDomainSkew(2, -500'000, -20'000);
+  dst::SetClockDomainSkew(3, 250'000, -10'000);
+  dst::SetClockDomainSkew(4, -250'000, 10'000);
+
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.per_node_clock_domains = true;
+  config.scheduler.total_resources = ResourceSet::Cpu(4);
+  config.scheduler.heartbeat_interval_us = 20'000;
+  config.net.control_latency_us = 5;
+  auto cluster = std::make_unique<Cluster>(config);
+  cluster->RegisterFunction("step", &ChainStep);
+
+  // A real workload while ~75 heartbeat periods elapse under skew.
+  Ray ray = Ray::OnNode(*cluster, 0);
+  std::vector<ObjectRef<int>> heads;
+  for (int c = 0; c < 4; ++c) {
+    auto ref = ray.Call<int>("step", c);
+    for (int s = 1; s < 10; ++s) {
+      ref = ray.Call<int>("step", ref);
+    }
+    heads.push_back(ref);
+  }
+  for (int c = 0; c < 4; ++c) {
+    auto v = ray.Get(heads[c], 60'000'000);
+    ASSERT_TRUE(v.ok()) << "chain " << c << ": " << v.status().ToString();
+    EXPECT_EQ(*v, c + 10);
+  }
+  SleepMicros(1'000'000);  // keep beating with no traffic to mask a miss
+
+  EXPECT_EQ(cluster->monitor().NumDeathsDeclared(), 0u)
+      << "bounded clock skew produced a false-positive death";
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "common/sync.h"
 #include "net/sim_network.h"
 #include "objectstore/object_store.h"
+#include "runtime/api.h"
 
 namespace ray {
 namespace {
@@ -122,6 +123,90 @@ TEST(FiberTest, PriorityOrderingHighRunsBeforeLow) {
   gate->Join();
   EXPECT_LT(high_seq.load(), normal_seq.load());
   EXPECT_LT(normal_seq.load(), low_seq.load());
+}
+
+// --- task-spec priority end to end ------------------------------------------
+// CreateActor's TaskPriority becomes the actor fiber's run-queue level
+// (task_spec -> api -> node spawn). A gate actor holds the node's single
+// carrier hostage while one call lands in each probe's mailbox; on release,
+// the high-priority actor's fiber must drain first even though the
+// low-priority call was delivered first.
+
+std::atomic<int> g_prio_seq{0};
+std::atomic<int> g_prio_high{-1};
+std::atomic<int> g_prio_low{-1};
+std::atomic<bool> g_gate_spinning{false};
+std::atomic<bool> g_gate_release{false};
+
+class PriorityGate {
+ public:
+  int Hold() {
+    g_gate_spinning.store(true);
+    while (!g_gate_release.load()) {
+    }
+    return 0;
+  }
+};
+
+class PriorityProbe {
+ public:
+  int Warm() { return 1; }
+  int Poke(int which) {
+    const int seq = g_prio_seq.fetch_add(1);
+    (which == 1 ? g_prio_high : g_prio_low).store(seq);
+    return seq;
+  }
+};
+
+TEST(FiberTest, HighPriorityActorCallRunsFirstUnderSaturatedCarrier) {
+  g_prio_seq.store(0);
+  g_prio_high.store(-1);
+  g_prio_low.store(-1);
+  g_gate_spinning.store(false);
+  g_gate_release.store(false);
+
+  ClusterConfig config;
+  config.num_nodes = 1;
+  config.scheduler.num_fiber_carriers = 1;
+  config.scheduler.total_resources = ResourceSet::Cpu(8);
+  config.net.control_latency_us = 5;
+  auto cluster = std::make_unique<Cluster>(config);
+  cluster->RegisterActorClass<PriorityGate>("PriorityGate");
+  cluster->RegisterActorMethod("PriorityGate", "Hold", &PriorityGate::Hold);
+  cluster->RegisterActorClass<PriorityProbe>("PriorityProbe");
+  cluster->RegisterActorMethod("PriorityProbe", "Warm", &PriorityProbe::Warm);
+  cluster->RegisterActorMethod("PriorityProbe", "Poke", &PriorityProbe::Poke);
+
+  Ray ray = Ray::OnNode(*cluster, 0);
+  ActorHandle gate = ray.CreateActor("PriorityGate");
+  ActorHandle low =
+      ray.CreateActor("PriorityProbe", ResourceSet::Cpu(1), TaskPriority::kLow);
+  ActorHandle high =
+      ray.CreateActor("PriorityProbe", ResourceSet::Cpu(1), TaskPriority::kHigh);
+  // Both probes alive and parked on their mailboxes before saturation.
+  ASSERT_TRUE(ray.Get(low.Call<int>("Warm"), 30'000'000).ok());
+  ASSERT_TRUE(ray.Get(high.Call<int>("Warm"), 30'000'000).ok());
+
+  auto held = gate.Call<int>("Hold");
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!g_gate_spinning.load()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "gate actor never started";
+    std::this_thread::yield();
+  }
+
+  // Low's call is delivered first; only fiber priority can reorder the drain.
+  auto low_ref = low.Call<int>("Poke", 0);
+  auto high_ref = high.Call<int>("Poke", 1);
+  SleepMicros(20'000);  // let both deliveries unpark the probe fibers
+  g_gate_release.store(true);
+
+  ASSERT_TRUE(ray.Get(high_ref, 30'000'000).ok());
+  ASSERT_TRUE(ray.Get(low_ref, 30'000'000).ok());
+  ASSERT_TRUE(ray.Get(held, 30'000'000).ok());
+  ASSERT_GE(g_prio_high.load(), 0);
+  ASSERT_GE(g_prio_low.load(), 0);
+  EXPECT_LT(g_prio_high.load(), g_prio_low.load())
+      << "high-priority actor ran after the low-priority one";
 }
 
 TEST(FiberTest, TimedWaitExpiresWithoutNotifier) {
